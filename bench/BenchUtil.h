@@ -1,0 +1,82 @@
+//===- bench/BenchUtil.h - Shared harness helpers ---------------*- C++ -*-===//
+//
+// Helpers for the figure/table reproduction binaries: build a benchmark,
+// apply an optimization configuration, measure steady-state FLOPs,
+// multiplications and wall-clock time per output (Section 5.1's
+// methodology), and print aligned rows.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_BENCH_BENCHUTIL_H
+#define SLIN_BENCH_BENCHUTIL_H
+
+#include "apps/Benchmarks.h"
+#include "exec/Measure.h"
+#include "opt/Optimizer.h"
+
+#include <cstdio>
+#include <string>
+
+namespace slin {
+namespace bench {
+
+/// Per-benchmark measured window sizes: the heavyweight apps (Radar's
+/// channel banks, Vocoder's O(W^2) pitch detector) get smaller windows so
+/// the whole harness stays fast; all are deep in steady state.
+inline size_t measureWindow(const std::string &Name) {
+  // The window must span several firings of the coarsest-grained
+  // configuration (an optimized frequency filter emits u*(m+e-1) items
+  // per firing), or per-output rates are dominated by quantization.
+  if (Name == "Vocoder")
+    return 256;
+  if (Name == "Radar")
+    return 1024;
+  if (Name == "TargetDetect" || Name == "Oversampler")
+    return 4096;
+  if (Name == "DToA")
+    return 3072;
+  if (Name == "FMRadio")
+    return 1536;
+  return 2048;
+}
+
+inline size_t warmupWindow(const std::string &Name) {
+  return measureWindow(Name) / 2;
+}
+
+inline Measurement measureConfig(const Stream &Root,
+                                 const OptimizerOptions &Opts,
+                                 const std::string &Name,
+                                 bool MeasureTime) {
+  StreamPtr Opt = optimize(Root, Opts);
+  MeasureOptions MO;
+  MO.WarmupOutputs = warmupWindow(Name);
+  MO.MeasureOutputs = measureWindow(Name);
+  MO.MeasureTime = MeasureTime;
+  return measureSteadyState(*Opt, MO);
+}
+
+inline double percentRemoved(double Base, double Opt) {
+  if (Base == 0.0)
+    return 0.0;
+  return 100.0 * (1.0 - Opt / Base);
+}
+
+/// The paper reports speedup as percentage increase in throughput
+/// ("average execution time decrease of 450%"): 100*(tBase/tOpt - 1).
+inline double speedupPercent(double BaseSeconds, double OptSeconds) {
+  if (OptSeconds <= 0.0)
+    return 0.0;
+  return 100.0 * (BaseSeconds / OptSeconds - 1.0);
+}
+
+inline void printRule(int Width = 78) {
+  for (int I = 0; I != Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace slin
+
+#endif // SLIN_BENCH_BENCHUTIL_H

@@ -1,0 +1,58 @@
+//===- bench/bench_matrix.cpp - Linear-kernel micro-benchmarks ------------==//
+//
+// Micro-benchmarks for the runtime linear-replacement kernels: the banded
+// ("diagonal", Figure 5-7) multiply and the ATLAS-substitute tuned gemv.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matrix/Kernels.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace slin;
+
+namespace {
+
+Matrix randomMatrix(int E, int U, double Sparsity) {
+  std::mt19937 Rng(23);
+  std::uniform_real_distribution<double> Dist(-1.0, 1.0);
+  std::uniform_real_distribution<double> Coin(0.0, 1.0);
+  Matrix M(E, U);
+  for (int P = 0; P != E; ++P)
+    for (int J = 0; J != U; ++J)
+      if (Coin(Rng) >= Sparsity)
+        M.at(P, J) = Dist(Rng);
+  return M;
+}
+
+void BM_BandedGemv(benchmark::State &State) {
+  int E = static_cast<int>(State.range(0));
+  Matrix C = randomMatrix(E, 4, 0.0);
+  PackedLinearKernel K(C, Vector(4));
+  std::vector<double> In(E, 1.0), Out(4);
+  for ([[maybe_unused]] auto _ : State) {
+    K.applyBanded(In.data(), Out.data());
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetItemsProcessed(State.iterations() * E * 4);
+}
+BENCHMARK(BM_BandedGemv)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_TunedGemv(benchmark::State &State) {
+  int E = static_cast<int>(State.range(0));
+  Matrix C = randomMatrix(E, 4, 0.0);
+  TunedGemv K(C, Vector(4));
+  std::vector<double> In(E, 1.0), Out(4);
+  for ([[maybe_unused]] auto _ : State) {
+    K.apply(In.data(), Out.data());
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetItemsProcessed(State.iterations() * E * 4);
+}
+BENCHMARK(BM_TunedGemv)->RangeMultiplier(4)->Range(16, 1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

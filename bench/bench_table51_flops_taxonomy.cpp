@@ -1,0 +1,51 @@
+//===- bench/bench_table51_flops_taxonomy.cpp - Table 5.1 -----------------==//
+//
+// Table 5.1 classifies IA-32 opcodes into FLOPs; our substitute for the
+// DynamoRIO counting client is the op-accounting layer, whose categories
+// map onto the paper's instruction families. This binary prints the
+// mapping and a sample categorized count over the FIR benchmark, so the
+// accounting basis of every other figure is explicit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace slin;
+using namespace slin::apps;
+using namespace slin::bench;
+
+int main() {
+  std::printf("Table 5.1: FLOP taxonomy (IA-32 families -> our counters)\n");
+  printRule(72);
+  std::printf("%-12s %-34s %s\n", "counter", "IA-32 family (Table 5.1)",
+              "in mults?");
+  printRule(72);
+  std::printf("%-12s %-34s %s\n", "Adds", "FADD/FADDP/FIADD", "no");
+  std::printf("%-12s %-34s %s\n", "Subs", "FSUB/FSUBR/FCHS", "no");
+  std::printf("%-12s %-34s %s\n", "Muls", "FMUL/FMULP/FIMUL", "yes");
+  std::printf("%-12s %-34s %s\n", "Divs", "FDIV/FDIVR/FPREM", "yes");
+  std::printf("%-12s %-34s %s\n", "Cmps", "FCOM/FCOMI/FUCOM/FTST", "no");
+  std::printf("%-12s %-34s %s\n", "Trans",
+              "FSIN/FCOS/FPATAN/FSQRT/FABS/...", "no");
+  std::printf("(loads/stores and integer/address arithmetic are not "
+              "FLOPs, as in the paper)\n\n");
+
+  StreamPtr Root = buildFIR(64);
+  MeasureOptions MO;
+  MO.WarmupOutputs = 64;
+  MO.MeasureOutputs = 512;
+  MO.MeasureTime = false;
+  Measurement M = measureSteadyState(*Root, MO);
+  std::printf("sample: FIR(64 taps), per output:\n");
+  printRule(40);
+  double N = static_cast<double>(M.Outputs);
+  std::printf("  Adds  %10.2f\n", M.Ops.Adds / N);
+  std::printf("  Subs  %10.2f\n", M.Ops.Subs / N);
+  std::printf("  Muls  %10.2f\n", M.Ops.Muls / N);
+  std::printf("  Divs  %10.2f\n", M.Ops.Divs / N);
+  std::printf("  Cmps  %10.2f\n", M.Ops.Cmps / N);
+  std::printf("  Trans %10.2f\n", M.Ops.Trans / N);
+  std::printf("  FLOPs %10.2f   mults %7.2f\n", M.flopsPerOutput(),
+              M.multsPerOutput());
+  return 0;
+}

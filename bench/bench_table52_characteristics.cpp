@@ -1,0 +1,50 @@
+//===- bench/bench_table52_characteristics.cpp - Table 5.2 ----------------==//
+//
+// Characteristics of the benchmarks before and after running the
+// automatic selection optimizations (Table 5.2): stream construct counts,
+// how many are linear, and the average vector size (e*u over linear
+// filters).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "linear/Analysis.h"
+
+using namespace slin;
+using namespace slin::apps;
+using namespace slin::bench;
+
+int main() {
+  std::printf("Table 5.2: benchmark characteristics before/after autosel\n");
+  printRule(94);
+  std::printf("%-13s | %9s %10s %10s %9s | %9s %10s %10s\n", "Benchmark",
+              "Filters", "Pipelines", "SplitJoins", "AvgVec", "Filters",
+              "Pipelines", "SplitJoins");
+  std::printf("%-13s | %9s %10s %10s %9s | %9s %10s %10s\n", "",
+              "(linear)", "(linear)", "(linear)", "", "", "", "");
+  printRule(94);
+  for (const BenchmarkEntry &B : allBenchmarks()) {
+    StreamPtr Root = B.Build();
+    LinearAnalysis LA(*Root);
+    auto S = LA.stats();
+
+    StreamPtr Opt = optimizeAutoSel(*Root);
+    GraphCounts After = countStreams(*Opt);
+
+    char FBuf[24], PBuf[24], SBuf[24];
+    std::snprintf(FBuf, sizeof(FBuf), "%d (%d)", S.Filters, S.LinearFilters);
+    std::snprintf(PBuf, sizeof(PBuf), "%d (%d)", S.Pipelines,
+                  S.LinearPipelines);
+    std::snprintf(SBuf, sizeof(SBuf), "%d (%d)", S.SplitJoins,
+                  S.LinearSplitJoins);
+    std::printf("%-13s | %9s %10s %10s %9.0f | %9d %10d %10d\n",
+                B.Name.c_str(), FBuf, PBuf, SBuf, S.AvgVectorSize,
+                After.Filters, After.Pipelines, After.SplitJoins);
+  }
+  printRule(94);
+  std::printf("(paper, before: FIR 3(1), RateConvert 5(3), TargetDetect "
+              "10(4), FMRadio 26(22),\n Radar 76(60), FilterBank 27(24), "
+              "Vocoder 17(13), Oversampler 10(8), DToA 14(10))\n");
+  return 0;
+}

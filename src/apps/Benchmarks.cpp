@@ -1,0 +1,528 @@
+//===- apps/Benchmarks.cpp - The nine benchmark programs ----------------------==//
+
+#include "apps/Benchmarks.h"
+
+#include "apps/Dsp.h"
+#include "wir/Build.h"
+
+#include <cmath>
+
+using namespace slin;
+using namespace slin::apps;
+using namespace slin::wir;
+using namespace slin::wir::build;
+
+namespace {
+
+constexpr double Pi = 3.14159265358979323846;
+
+std::unique_ptr<Filter> makeTableSource(std::vector<double> Data,
+                                        const std::string &Name) {
+  int Period = static_cast<int>(Data.size());
+  std::vector<FieldDef> Fields = {
+      FieldDef::constArray("data", std::move(Data)),
+      FieldDef::mutableScalar("pos", 0)};
+  WorkFunction W(0, 0, 1,
+                 stmts(push(fldAt("data", fld("pos"))),
+                       uncounted(stmts(fldAssign(
+                           "pos", mod(add(fld("pos"), cst(1)),
+                                      cst(Period)))))));
+  return std::make_unique<Filter>(Name, std::move(Fields), std::move(W));
+}
+
+/// ThresholdDetector(number, threshold) of Figure A-7.
+std::unique_ptr<Filter> makeThresholdDetector(double Number,
+                                              double Threshold) {
+  WorkFunction W(1, 1, 1,
+                 stmts(assign("t", pop()),
+                       ifStmt(gt(vr("t"), cst(Threshold)),
+                              stmts(push(cst(Number))),
+                              stmts(push(cst(0))))));
+  return std::make_unique<Filter>("ThresholdDetector",
+                                  std::vector<FieldDef>{}, std::move(W));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FIR / RateConvert
+//===----------------------------------------------------------------------===//
+
+StreamPtr apps::buildFIR(int Taps) {
+  auto P = std::make_unique<Pipeline>("FIRProgram");
+  P->add(makeRampSource());
+  P->add(makeLowPassFilter(1.0, Pi / 3.0, Taps));
+  P->add(makePrinterSink());
+  return P;
+}
+
+StreamPtr apps::buildRateConvert(int Taps) {
+  auto P = std::make_unique<Pipeline>("SamplingRateConverter");
+  P->add(makeCosineSource(Pi / 10.0));
+  auto Inner = std::make_unique<Pipeline>("ConvertPipeline");
+  Inner->add(makeExpander(2));
+  Inner->add(makeLowPassFilter(3.0, Pi / 3.0, Taps));
+  Inner->add(makeCompressor(3));
+  P->add(std::move(Inner));
+  P->add(makePrinterSink());
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// TargetDetect
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<double> matchedFilterCoeffs(int Kind, int N) {
+  std::vector<double> H(static_cast<size_t>(N));
+  for (int I = 0; I != N; ++I) {
+    double Pos = I;
+    double V = 0;
+    switch (Kind) {
+    case 0: // triangle minus mean
+      V = (I < N / 2 ? Pos * 2.0 / N : 2.0 - Pos * 2.0 / N) - 0.5;
+      break;
+    case 1: // half sine with offset
+      V = (1.0 / (2.0 * Pi)) * std::sin(Pi * Pos / N) - 1.0;
+      break;
+    case 2: // full sine
+      V = (1.0 / (2.0 * Pi)) * std::sin(2.0 * Pi * Pos / N);
+      break;
+    case 3: // time-reversed ramp
+      H[static_cast<size_t>(N - 1 - I)] = 0.5 * (Pos / N - 0.5);
+      continue;
+    }
+    H[static_cast<size_t>(I)] = V;
+  }
+  return H;
+}
+
+} // namespace
+
+StreamPtr apps::buildTargetDetect(int Taps) {
+  auto P = std::make_unique<Pipeline>("TargetDetect");
+
+  // TargetSource (Figure A-7): zeros, a width-N triangle, zeros, with
+  // period 10N.
+  std::vector<double> Wave(static_cast<size_t>(10 * Taps), 0.0);
+  for (int I = 0; I != Taps; ++I) {
+    double T = I;
+    Wave[static_cast<size_t>(Taps + I)] =
+        I < Taps / 2 ? T * 2.0 / Taps : 2.0 - T * 2.0 / Taps;
+  }
+  P->add(makeTableSource(std::move(Wave), "TargetSource"));
+
+  auto SJ = std::make_unique<SplitJoin>("TargetDetectSplitJoin",
+                                        Splitter::duplicate(),
+                                        Joiner::roundRobin({1, 1, 1, 1}));
+  for (int K = 0; K != 4; ++K) {
+    auto Branch = std::make_unique<Pipeline>("Match" + std::to_string(K));
+    Branch->add(makeFIRFilter(matchedFilterCoeffs(K, Taps),
+                              "MatchedFilter" + std::to_string(K)));
+    Branch->add(makeThresholdDetector(K + 1, 8.0));
+    SJ->add(std::move(Branch));
+  }
+  P->add(std::move(SJ));
+  P->add(makePrinterSink());
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// FMRadio
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// FMDemodulator (Figure A-10): push(gain * atan(peek(0) * peek(1))).
+std::unique_ptr<Filter> makeFMDemodulator(double Gain) {
+  WorkFunction W(2, 1, 1,
+                 stmts(push(mul(cst(Gain), atanE(mul(peek(0), peek(1))))),
+                       popStmt()));
+  return std::make_unique<Filter>("FMDemodulator", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+} // namespace
+
+StreamPtr apps::buildFMRadio(int Taps, int Bands) {
+  double SamplingRate = 200000.0;
+  double CutoffFreq = 54000.0;
+  double MaxAmplitude = 27000.0;
+  double Bandwidth = 10000.0;
+  double Low = 55.0, High = 1760.0;
+
+  auto P = std::make_unique<Pipeline>("FMRadio");
+  P->add(makeCountingSource());
+  P->add(makeLowPassFilter(1.0, 2.0 * Pi * CutoffFreq / SamplingRate, Taps,
+                           /*Decimation=*/4, /*Hamming=*/true));
+  P->add(makeFMDemodulator(MaxAmplitude * (SamplingRate / (Bandwidth * Pi))));
+
+  // Equalizer: band-split, pairwise difference, sum.
+  auto Eq = std::make_unique<Pipeline>("Equalizer");
+  auto SJ = std::make_unique<SplitJoin>(
+      "EqualizerSplitJoin", Splitter::duplicate(),
+      Joiner::roundRobin({1, 2 * (Bands - 1), 1}));
+  auto BandFreq = [&](int I) {
+    return std::exp(I * (std::log(High) - std::log(Low)) / Bands +
+                    std::log(Low));
+  };
+  SJ->add(makeLowPassFilter(1.0, 2.0 * Pi * High / SamplingRate, Taps, 0,
+                            true));
+  auto Inner = std::make_unique<SplitJoin>(
+      "EqualizerInnerSplitJoin", Splitter::duplicate(),
+      Joiner::roundRobin(std::vector<int>(static_cast<size_t>(Bands - 1), 2)));
+  for (int I = 0; I != Bands - 1; ++I) {
+    auto Band = std::make_unique<Pipeline>("EqBand" + std::to_string(I));
+    Band->add(makeLowPassFilter(1.0, 2.0 * Pi * BandFreq(I + 1) / SamplingRate,
+                                Taps, 0, true));
+    Band->add(makeFloatDup());
+    Inner->add(std::move(Band));
+  }
+  SJ->add(std::move(Inner));
+  SJ->add(makeLowPassFilter(1.0, 2.0 * Pi * Low / SamplingRate, Taps, 0,
+                            true));
+  Eq->add(std::move(SJ));
+  Eq->add(makeFloatDiff());
+  Eq->add(makeAdder(Bands));
+  P->add(std::move(Eq));
+  P->add(makePrinterSink());
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Radar
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// InputGenerate(channel): pushes a complex sample (cos, sin) per firing.
+std::unique_ptr<Filter> makeInputGenerate(int Channel) {
+  double Omega = 0.013 * (Channel + 1);
+  std::vector<FieldDef> Fields = {FieldDef::mutableScalar("t", 0)};
+  WorkFunction W(0, 0, 2,
+                 stmts(assign("theta", mul(cst(Omega), fld("t"))),
+                       push(cosE(vr("theta"))), push(sinE(vr("theta"))),
+                       uncounted(stmts(
+                           fldAssign("t", add(fld("t"), cst(1)))))));
+  return std::make_unique<Filter>("InputGenerate", std::move(Fields),
+                                  std::move(W));
+}
+
+/// Complex FIR over interleaved (re, im) pairs with decimation:
+/// peek 2*Taps, pop 2*Dec, push 2.
+std::unique_ptr<Filter> makeComplexFir(int Taps, int Dec,
+                                       const std::string &Name,
+                                       unsigned Seed) {
+  std::vector<double> HR(static_cast<size_t>(Taps)),
+      HI(static_cast<size_t>(Taps));
+  for (int I = 0; I != Taps; ++I) {
+    HR[static_cast<size_t>(I)] =
+        std::cos(0.17 * (I + 1) * (Seed + 1)) / (1.0 + 0.1 * I);
+    HI[static_cast<size_t>(I)] =
+        std::sin(0.23 * (I + 1) * (Seed + 2)) / (1.0 + 0.1 * I);
+  }
+  std::vector<FieldDef> Fields = {
+      FieldDef::constArray("hr", std::move(HR)),
+      FieldDef::constArray("hi", std::move(HI))};
+  StmtList Body;
+  Body.push_back(assign("re", cst(0)));
+  Body.push_back(assign("im", cst(0)));
+  Body.push_back(loop(
+      "i", cst(0), cst(Taps),
+      stmts(assign("xr", peek(mul(cst(2), vr("i")))),
+            assign("xi", peek(add(mul(cst(2), vr("i")), cst(1)))),
+            assign("re", add(vr("re"),
+                             sub(mul(fldAt("hr", vr("i")), vr("xr")),
+                                 mul(fldAt("hi", vr("i")), vr("xi"))))),
+            assign("im", add(vr("im"),
+                             add(mul(fldAt("hr", vr("i")), vr("xi")),
+                                 mul(fldAt("hi", vr("i")), vr("xr"))))))));
+  Body.push_back(push(vr("re")));
+  Body.push_back(push(vr("im")));
+  Body.push_back(loop("i", cst(0), cst(2 * Dec), stmts(popStmt())));
+  WorkFunction W(std::max(2 * Taps, 2 * Dec), 2 * Dec, 2, std::move(Body));
+  return std::make_unique<Filter>(Name, std::move(Fields), std::move(W));
+}
+
+/// BeamForm(beam): complex dot product across all channels — pops
+/// 2*Channels, pushes 2 (the problematic u << o node of Section 5.2).
+std::unique_ptr<Filter> makeBeamForm(int Beam, int Channels) {
+  std::vector<double> WR(static_cast<size_t>(Channels)),
+      WI(static_cast<size_t>(Channels));
+  for (int C = 0; C != Channels; ++C) {
+    WR[static_cast<size_t>(C)] = std::cos(0.3 * (Beam + 1) * (C + 1));
+    WI[static_cast<size_t>(C)] = std::sin(0.19 * (Beam + 1) * (C + 1));
+  }
+  std::vector<FieldDef> Fields = {
+      FieldDef::constArray("wr", std::move(WR)),
+      FieldDef::constArray("wi", std::move(WI))};
+  StmtList Body;
+  Body.push_back(assign("re", cst(0)));
+  Body.push_back(assign("im", cst(0)));
+  Body.push_back(loop(
+      "c", cst(0), cst(Channels),
+      stmts(assign("xr", peek(mul(cst(2), vr("c")))),
+            assign("xi", peek(add(mul(cst(2), vr("c")), cst(1)))),
+            assign("re", add(vr("re"),
+                             sub(mul(fldAt("wr", vr("c")), vr("xr")),
+                                 mul(fldAt("wi", vr("c")), vr("xi"))))),
+            assign("im", add(vr("im"),
+                             add(mul(fldAt("wr", vr("c")), vr("xi")),
+                                 mul(fldAt("wi", vr("c")), vr("xr"))))))));
+  Body.push_back(push(vr("re")));
+  Body.push_back(push(vr("im")));
+  Body.push_back(loop("i", cst(0), cst(2 * Channels), stmts(popStmt())));
+  WorkFunction W(2 * Channels, 2 * Channels, 2, std::move(Body));
+  return std::make_unique<Filter>("BeamForm", std::move(Fields),
+                                  std::move(W));
+}
+
+/// Magnitude: sqrt(re^2 + im^2) over complex pairs (nonlinear).
+std::unique_ptr<Filter> makeMagnitude() {
+  WorkFunction W(2, 2, 1,
+                 stmts(assign("re", pop()), assign("im", pop()),
+                       push(sqrtE(add(mul(vr("re"), vr("re")),
+                                      mul(vr("im"), vr("im")))))));
+  return std::make_unique<Filter>("Magnitude", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+} // namespace
+
+StreamPtr apps::buildRadar() { return buildRadar(RadarParams()); }
+
+StreamPtr apps::buildRadar(const RadarParams &Params) {
+  auto P = std::make_unique<Pipeline>("Radar");
+
+  // Input channels: a "null" roundrobin splitter over source pipelines.
+  auto Channels = std::make_unique<SplitJoin>(
+      "Channels",
+      Splitter::roundRobin(
+          std::vector<int>(static_cast<size_t>(Params.Channels), 0)),
+      Joiner::roundRobin(
+          std::vector<int>(static_cast<size_t>(Params.Channels), 2)));
+  for (int C = 0; C != Params.Channels; ++C) {
+    auto Chan = std::make_unique<Pipeline>("Channel" + std::to_string(C));
+    Chan->add(makeInputGenerate(C));
+    Chan->add(makeComplexFir(Params.CoarseTaps, Params.CoarseDecimation,
+                             "CoarseBeamFirFilter",
+                             static_cast<unsigned>(C)));
+    Chan->add(makeComplexFir(Params.FineTaps, Params.FineDecimation,
+                             "FineBeamFirFilter",
+                             static_cast<unsigned>(C + 100)));
+    Channels->add(std::move(Chan));
+  }
+  P->add(std::move(Channels));
+
+  auto Beams = std::make_unique<SplitJoin>(
+      "Beams", Splitter::duplicate(),
+      Joiner::roundRobin(
+          std::vector<int>(static_cast<size_t>(Params.Beams), 1)));
+  for (int B = 0; B != Params.Beams; ++B) {
+    auto Beam = std::make_unique<Pipeline>("Beam" + std::to_string(B));
+    Beam->add(makeBeamForm(B, Params.Channels));
+    Beam->add(makeComplexFir(Params.MatchedTaps, 1, "MatchedBeamFirFilter",
+                             static_cast<unsigned>(B + 200)));
+    Beam->add(makeMagnitude());
+    Beam->add(makeThresholdDetector(B + 1, 1.0));
+    Beams->add(std::move(Beam));
+  }
+  P->add(std::move(Beams));
+  P->add(makePrinterSink());
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// FilterBank
+//===----------------------------------------------------------------------===//
+
+StreamPtr apps::buildFilterBank(int Bands, int Taps) {
+  auto P = std::make_unique<Pipeline>("FilterBank");
+  P->add(makeMultiToneSource());
+
+  auto SJ = std::make_unique<SplitJoin>(
+      "FilterBankSplitJoin", Splitter::duplicate(),
+      Joiner::roundRobin(std::vector<int>(static_cast<size_t>(Bands), 1)));
+  for (int I = 0; I != Bands; ++I) {
+    auto Branch = std::make_unique<Pipeline>("Processing" + std::to_string(I));
+    double Lo = I * Pi / Bands;
+    double Hi = (I + 1) * Pi / Bands;
+    Branch->add(makeBandPassFilter(1.0, Lo, Hi, Taps,
+                                   "BandPass" + std::to_string(I)));
+    Branch->add(makeCompressor(Bands));
+    Branch->add(makeIdentityFilter("ProcessFilter"));
+    Branch->add(makeExpander(Bands));
+    Branch->add(makeBandStopFilter(static_cast<double>(Bands), Lo, Hi, Taps,
+                                   "BandStop" + std::to_string(I)));
+    SJ->add(std::move(Branch));
+  }
+  P->add(std::move(SJ));
+  P->add(makeAdder(Bands));
+  P->add(makePrinterSink());
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Vocoder
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// CenterClip (Figure A-14): clamp to [-0.75, 0.75] (nonlinear).
+std::unique_ptr<Filter> makeCenterClip() {
+  WorkFunction W(
+      1, 1, 1,
+      stmts(assign("t", pop()),
+            ifStmt(lt(vr("t"), cst(-0.75)), stmts(push(cst(-0.75))),
+                   stmts(ifStmt(gt(vr("t"), cst(0.75)),
+                                stmts(push(cst(0.75))),
+                                stmts(push(vr("t"))))))));
+  return std::make_unique<Filter>("CenterClip", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+/// CorrPeak (Figure A-14): auto-correlation peak detector with threshold
+/// (quadratic in the input: nonlinear).
+std::unique_ptr<Filter> makeCorrPeak(int WinSize, int Decimation) {
+  StmtList Body;
+  Body.push_back(localArray("autocorr", WinSize));
+  Body.push_back(loop(
+      "i", cst(0), cst(WinSize),
+      stmts(assign("sum", cst(0)),
+            loop("j", vr("i"), cst(WinSize),
+                 stmts(assign("sum", add(vr("sum"),
+                                         mul(peek(vr("i")),
+                                             peek(vr("j"))))))),
+            arrAssign("autocorr", vr("i"),
+                      div(vr("sum"), cst(WinSize))))));
+  Body.push_back(assign("maxpeak", cst(0)));
+  Body.push_back(loop(
+      "i", cst(0), cst(WinSize),
+      stmts(ifStmt(gt(arrAt("autocorr", vr("i")), vr("maxpeak")),
+                   stmts(assign("maxpeak", arrAt("autocorr", vr("i"))))))));
+  Body.push_back(ifStmt(gt(vr("maxpeak"), cst(0.07)),
+                        stmts(push(vr("maxpeak"))), stmts(push(cst(0)))));
+  Body.push_back(loop("i", cst(0), cst(Decimation), stmts(popStmt())));
+  WorkFunction W(WinSize, Decimation, 1, std::move(Body));
+  return std::make_unique<Filter>("CorrPeak", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+} // namespace
+
+StreamPtr apps::buildVocoder(int PitchWindow, int Decimation, int BandTaps) {
+  auto P = std::make_unique<Pipeline>("ChannelVocoder");
+  P->add(makeTableSource(
+      {-0.70867825, 0.9750938, -0.009129746, 0.28532153, -0.42127264,
+       -0.95795095, 0.68976873, 0.99901736, -0.8581795, 0.9863592, 0.909825},
+      "DataSource"));
+  P->add(makeLowPassFilter(1.0, 0.9 * Pi, BandTaps));
+
+  auto Main = std::make_unique<SplitJoin>("MainSplitjoin",
+                                          Splitter::duplicate(),
+                                          Joiner::roundRobin({1, 4}));
+  auto Pitch = std::make_unique<Pipeline>("PitchDetector");
+  Pitch->add(makeCenterClip());
+  Pitch->add(makeCorrPeak(PitchWindow, Decimation));
+  Main->add(std::move(Pitch));
+
+  auto Bank = std::make_unique<SplitJoin>(
+      "VocoderFilterBank", Splitter::duplicate(),
+      Joiner::roundRobin({1, 1, 1, 1}));
+  for (int I = 0; I != 4; ++I) {
+    auto Chan = std::make_unique<Pipeline>("FilterDecimate" + std::to_string(I));
+    double Lo = (I + 0.25) * Pi / 5.0;
+    double Hi = (I + 1) * Pi / 5.0;
+    Chan->add(makeBandPassFilter(2.0, Lo, Hi, BandTaps,
+                                 "VocoderBandPass" + std::to_string(I)));
+    Chan->add(makeCompressor(Decimation));
+    Bank->add(std::move(Chan));
+  }
+  Main->add(std::move(Bank));
+  P->add(std::move(Main));
+  P->add(makePrinterSink());
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Oversampler / DToA
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+StreamPtr makeOverSampler(int Stages, int Taps) {
+  auto P = std::make_unique<Pipeline>("OverSampler");
+  for (int I = 0; I != Stages; ++I) {
+    P->add(makeExpander(2));
+    P->add(makeLowPassFilter(2.0, Pi / 2.0, Taps));
+  }
+  return P;
+}
+
+/// QuantizerAndError: pushes the 1-bit quantization and its error.
+std::unique_ptr<Filter> makeQuantizerAndError() {
+  WorkFunction W(
+      1, 1, 2,
+      stmts(assign("in", pop()),
+            ifStmt(lt(vr("in"), cst(0)), stmts(assign("out", cst(-1))),
+                   stmts(assign("out", cst(1)))),
+            push(vr("out")), push(sub(vr("out"), vr("in")))));
+  return std::make_unique<Filter>("QuantizerAndError",
+                                  std::vector<FieldDef>{}, std::move(W));
+}
+
+/// AdderFilter: push(pop() + pop()).
+std::unique_ptr<Filter> makeAdderFilter() {
+  WorkFunction W(2, 2, 1, stmts(push(add(pop(), pop()))));
+  return std::make_unique<Filter>("AdderFilter", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+} // namespace
+
+StreamPtr apps::buildOversampler(int Stages, int Taps) {
+  auto P = std::make_unique<Pipeline>("Oversampler");
+  P->add(makeMultiToneSource());
+  P->add(makeOverSampler(Stages, Taps));
+  P->add(makePrinterSink());
+  return P;
+}
+
+StreamPtr apps::buildDToA(int Taps, int OversampleTaps) {
+  auto P = std::make_unique<Pipeline>("OneBitDToA");
+  P->add(makeMultiToneSource());
+  P->add(makeOverSampler(4, OversampleTaps));
+
+  // NoiseShaper (Figure A-16): first-order noise shaping feedback loop.
+  auto Body = std::make_unique<Pipeline>("NoiseShaperBody");
+  Body->add(makeAdderFilter());
+  Body->add(makeQuantizerAndError());
+  P->add(std::make_unique<FeedbackLoop>(
+      "NoiseShaper", Joiner::roundRobin({1, 1}), std::move(Body),
+      makeDelay(0.0), Splitter::roundRobin({1, 1}),
+      std::vector<double>{0.0}));
+
+  P->add(makeLowPassFilter(1.0, Pi / 100.0, Taps));
+  P->add(makePrinterSink());
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+const std::vector<BenchmarkEntry> &apps::allBenchmarks() {
+  static const std::vector<BenchmarkEntry> Entries = {
+      {"FIR", [] { return buildFIR(); }},
+      {"RateConvert", [] { return buildRateConvert(); }},
+      {"TargetDetect", [] { return buildTargetDetect(); }},
+      {"FMRadio", [] { return buildFMRadio(); }},
+      {"Radar", [] { return buildRadar(); }},
+      {"FilterBank", [] { return buildFilterBank(); }},
+      {"Vocoder", [] { return buildVocoder(); }},
+      {"Oversampler", [] { return buildOversampler(); }},
+      {"DToA", [] { return buildDToA(); }},
+  };
+  return Entries;
+}

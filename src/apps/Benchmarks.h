@@ -1,0 +1,82 @@
+//===- apps/Benchmarks.h - The nine benchmark programs ----------*- C++ -*-===//
+///
+/// \file
+/// The benchmark suite of Section 5.1 (source code in Appendix A, stream
+/// graphs in Appendix B): FIR, RateConvert, TargetDetect, FMRadio, Radar,
+/// FilterBank, Vocoder, Oversampler and DToA, assembled from the shared
+/// DSP components in Dsp.h. Each builder is parameterized where a scaling
+/// experiment sweeps it (FIR taps for Figures 5-8/5-9/5-10, Radar
+/// channels/beams for Figure 5-11).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_APPS_BENCHMARKS_H
+#define SLIN_APPS_BENCHMARKS_H
+
+#include "graph/Stream.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace slin {
+namespace apps {
+
+/// FIR (Figure A-3): source -> 256-tap low-pass -> sink.
+StreamPtr buildFIR(int Taps = 256);
+
+/// RateConvert (Figure A-6): 2/3 sampling-rate conversion via
+/// Expander(2) -> LowPass(3, pi/3, Taps) -> Compressor(3).
+StreamPtr buildRateConvert(int Taps = 300);
+
+/// TargetDetect (Figures A-7/A-8): four matched filters in parallel with
+/// threshold detection.
+StreamPtr buildTargetDetect(int Taps = 300);
+
+/// FMRadio (Figures A-9/A-10): demodulator plus a Bands-way equalizer of
+/// Taps-tap band filters.
+StreamPtr buildFMRadio(int Taps = 64, int Bands = 10);
+
+/// Radar front end (Appendix B-4/B-5, after the PCA benchmark [23]):
+/// Channels input channels (complex FIR decimation chains) feeding Beams
+/// beamformers with matched filters and magnitude detectors.
+struct RadarParams {
+  int Channels = 12;
+  int Beams = 4;
+  int CoarseTaps = 32;
+  int CoarseDecimation = 4;
+  int FineTaps = 16;
+  int FineDecimation = 2;
+  int MatchedTaps = 16;
+};
+StreamPtr buildRadar();
+StreamPtr buildRadar(const RadarParams &Params);
+
+/// FilterBank (Figure A-13): Bands-way analysis/processing/synthesis
+/// multirate decomposition.
+StreamPtr buildFilterBank(int Bands = 3, int Taps = 100);
+
+/// Vocoder (Figure A-14): pitch detector in parallel with a four-band
+/// channel filter bank.
+StreamPtr buildVocoder(int PitchWindow = 100, int Decimation = 50,
+                       int BandTaps = 64);
+
+/// Oversampler (Figure A-15): four 2x oversampling stages.
+StreamPtr buildOversampler(int Stages = 4, int Taps = 64);
+
+/// DToA (Figure A-16): oversampler, first-order noise shaper (a
+/// feedback loop), and a smoothing low-pass.
+StreamPtr buildDToA(int Taps = 256, int OversampleTaps = 64);
+
+/// Name -> builder registry over the paper's default parameters, in the
+/// paper's presentation order.
+struct BenchmarkEntry {
+  std::string Name;
+  std::function<StreamPtr()> Build;
+};
+const std::vector<BenchmarkEntry> &allBenchmarks();
+
+} // namespace apps
+} // namespace slin
+
+#endif // SLIN_APPS_BENCHMARKS_H

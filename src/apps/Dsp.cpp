@@ -1,0 +1,214 @@
+//===- apps/Dsp.cpp - Shared DSP filter library -------------------------------==//
+
+#include "apps/Dsp.h"
+
+#include "wir/Build.h"
+
+#include <cmath>
+
+using namespace slin;
+using namespace slin::apps;
+using namespace slin::wir;
+using namespace slin::wir::build;
+
+namespace {
+constexpr double Pi = 3.14159265358979323846;
+}
+
+std::vector<double> apps::lowPassCoeffs(double G, double CutoffRad, int Taps,
+                                        bool Hamming) {
+  std::vector<double> H(static_cast<size_t>(Taps));
+  double M = Taps - 1;
+  int Offset = Taps / 2;
+  for (int I = 0; I != Taps; ++I) {
+    double Val;
+    if (I == Offset)
+      Val = G * CutoffRad / Pi; // lim sin(x)/x
+    else
+      Val = G * std::sin(CutoffRad * (I - Offset)) / (Pi * (I - Offset));
+    if (Hamming)
+      Val *= 0.54 - 0.46 * std::cos(2.0 * Pi * I / M);
+    H[static_cast<size_t>(I)] = Val;
+  }
+  return H;
+}
+
+std::vector<double> apps::highPassCoeffs(double G, double CutoffRad,
+                                         int Taps) {
+  // Spectral inversion of the low-pass design.
+  std::vector<double> H = lowPassCoeffs(G, CutoffRad, Taps);
+  for (double &V : H)
+    V = -V;
+  H[static_cast<size_t>(Taps / 2)] += G;
+  return H;
+}
+
+std::unique_ptr<Filter> apps::makeFIRFilter(std::vector<double> H,
+                                            const std::string &Name,
+                                            int Decimation) {
+  int Taps = static_cast<int>(H.size());
+  std::vector<FieldDef> Fields = {FieldDef::constArray("h", std::move(H))};
+  StmtList Body;
+  Body.push_back(assign("sum", cst(0)));
+  Body.push_back(loop(
+      "i", cst(0), cst(Taps),
+      stmts(assign("sum",
+                   add(vr("sum"), mul(fldAt("h", vr("i")), peek(vr("i"))))))));
+  Body.push_back(push(vr("sum")));
+  for (int I = 0; I != 1 + Decimation; ++I)
+    Body.push_back(popStmt());
+  WorkFunction W(std::max(Taps, 1 + Decimation), 1 + Decimation, 1,
+                 std::move(Body));
+  return std::make_unique<Filter>(Name, std::move(Fields), std::move(W));
+}
+
+std::unique_ptr<Filter> apps::makeLowPassFilter(double G, double CutoffRad,
+                                                int Taps, int Decimation,
+                                                bool Hamming) {
+  return makeFIRFilter(lowPassCoeffs(G, CutoffRad, Taps, Hamming),
+                       "LowPassFilter", Decimation);
+}
+
+std::unique_ptr<Filter> apps::makeHighPassFilter(double G, double CutoffRad,
+                                                 int Taps) {
+  return makeFIRFilter(highPassCoeffs(G, CutoffRad, Taps), "HighPassFilter");
+}
+
+StreamPtr apps::makeBandPassFilter(double Gain, double Ws, double Wp,
+                                   int Taps, const std::string &Name) {
+  auto P = std::make_unique<Pipeline>(Name);
+  P->add(makeLowPassFilter(1.0, Wp, Taps));
+  P->add(makeHighPassFilter(Gain, Ws, Taps));
+  return P;
+}
+
+StreamPtr apps::makeBandStopFilter(double Gain, double Wp, double Ws,
+                                   int Taps, const std::string &Name) {
+  auto SJ = std::make_unique<SplitJoin>(Name + ".split",
+                                        Splitter::duplicate(),
+                                        Joiner::roundRobin({1, 1}));
+  SJ->add(makeLowPassFilter(Gain, Wp, Taps));
+  SJ->add(makeHighPassFilter(Gain, Ws, Taps));
+  auto P = std::make_unique<Pipeline>(Name);
+  P->add(std::move(SJ));
+  P->add(makeAdder(2));
+  return P;
+}
+
+std::unique_ptr<Filter> apps::makeCompressor(int M) {
+  StmtList Body;
+  Body.push_back(push(pop()));
+  if (M > 1)
+    Body.push_back(loop("i", cst(0), cst(M - 1), stmts(popStmt())));
+  WorkFunction W(M, M, 1, std::move(Body));
+  return std::make_unique<Filter>("Compressor", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+std::unique_ptr<Filter> apps::makeExpander(int L) {
+  StmtList Body;
+  Body.push_back(push(pop()));
+  if (L > 1)
+    Body.push_back(loop("i", cst(0), cst(L - 1), stmts(push(cst(0)))));
+  WorkFunction W(1, 1, L, std::move(Body));
+  return std::make_unique<Filter>("Expander", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+std::unique_ptr<Filter> apps::makeAdder(int N) {
+  WorkFunction W(N, N, 1,
+                 stmts(assign("sum", cst(0)),
+                       loop("i", cst(0), cst(N),
+                            stmts(assign("sum", add(vr("sum"), pop())))),
+                       push(vr("sum"))));
+  return std::make_unique<Filter>("Adder", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+std::unique_ptr<Filter> apps::makeFloatDiff() {
+  WorkFunction W(2, 2, 1,
+                 stmts(push(sub(peek(0), peek(1))), popStmt(), popStmt()));
+  return std::make_unique<Filter>("FloatDiff", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+std::unique_ptr<Filter> apps::makeFloatDup() {
+  WorkFunction W(1, 1, 2,
+                 stmts(assign("v", pop()), push(vr("v")), push(vr("v"))));
+  return std::make_unique<Filter>("FloatDup", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+std::unique_ptr<Filter> apps::makeIdentityFilter(const std::string &Name) {
+  WorkFunction W(1, 1, 1, stmts(push(pop())));
+  return std::make_unique<Filter>(Name, std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+std::unique_ptr<Filter> apps::makeDelay(double Init) {
+  std::vector<FieldDef> Fields = {FieldDef::mutableScalar("state", Init)};
+  WorkFunction W(1, 1, 1, stmts(push(fld("state")), fldAssign("state", pop())));
+  return std::make_unique<Filter>("Delay", std::move(Fields), std::move(W));
+}
+
+std::unique_ptr<Filter> apps::makeRampSource(int Period) {
+  std::vector<double> Ramp(static_cast<size_t>(Period));
+  for (int I = 0; I != Period; ++I)
+    Ramp[static_cast<size_t>(I)] = I;
+  std::vector<FieldDef> Fields = {
+      FieldDef::constArray("inputs", std::move(Ramp)),
+      FieldDef::mutableScalar("idx", 0)};
+  // The cursor update is integer arithmetic in the original program.
+  WorkFunction W(0, 0, 1,
+                 stmts(push(fldAt("inputs", fld("idx"))),
+                       uncounted(stmts(fldAssign(
+                           "idx", mod(add(fld("idx"), cst(1)),
+                                      cst(Period)))))));
+  return std::make_unique<Filter>("FloatSource", std::move(Fields),
+                                  std::move(W));
+}
+
+std::unique_ptr<Filter> apps::makeCountingSource() {
+  std::vector<FieldDef> Fields = {FieldDef::mutableScalar("x", 0)};
+  WorkFunction W(0, 0, 1,
+                 stmts(push(fld("x")), fldAssign("x", add(fld("x"), cst(1)))));
+  return std::make_unique<Filter>("FloatOneSource", std::move(Fields),
+                                  std::move(W));
+}
+
+std::unique_ptr<Filter> apps::makeCosineSource(double Omega) {
+  std::vector<FieldDef> Fields = {FieldDef::mutableScalar("n", 0)};
+  WorkFunction W(0, 0, 1,
+                 stmts(push(cosE(mul(cst(Omega), fld("n")))),
+                       uncounted(stmts(
+                           fldAssign("n", add(fld("n"), cst(1)))))));
+  return std::make_unique<Filter>("SampledSource", std::move(Fields),
+                                  std::move(W));
+}
+
+std::unique_ptr<Filter> apps::makeMultiToneSource(int Period) {
+  std::vector<double> Data(static_cast<size_t>(Period));
+  for (int I = 0; I != Period; ++I) {
+    double T = I;
+    Data[static_cast<size_t>(I)] =
+        std::sin(2 * Pi * T / Period) +
+        std::sin(2 * Pi * 1.7 * T / Period + Pi / 3) +
+        std::sin(2 * Pi * 2.1 * T / Period + Pi / 5);
+  }
+  std::vector<FieldDef> Fields = {
+      FieldDef::constArray("data", std::move(Data)),
+      FieldDef::mutableScalar("index", 0)};
+  WorkFunction W(0, 0, 1,
+                 stmts(push(fldAt("data", fld("index"))),
+                       uncounted(stmts(fldAssign(
+                           "index", mod(add(fld("index"), cst(1)),
+                                        cst(Period)))))));
+  return std::make_unique<Filter>("DataSource", std::move(Fields),
+                                  std::move(W));
+}
+
+std::unique_ptr<Filter> apps::makePrinterSink() {
+  WorkFunction W(1, 1, 0, stmts(printStmt(pop())));
+  return std::make_unique<Filter>("FloatPrinter", std::vector<FieldDef>{},
+                                  std::move(W));
+}

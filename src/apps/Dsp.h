@@ -1,0 +1,110 @@
+//===- apps/Dsp.h - Shared DSP filter library -------------------*- C++ -*-===//
+///
+/// \file
+/// The common StreamIt components of Appendix A, built as work-IR filters:
+/// sources and sinks, windowed-sinc low/high-pass FIR filters, band
+/// pass/stop compositions, expanders, compressors, adders and utility
+/// filters. The nine benchmark programs (Benchmarks.h) are assembled from
+/// these, exactly as the appendix assembles them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_APPS_DSP_H
+#define SLIN_APPS_DSP_H
+
+#include "graph/Stream.h"
+
+#include <string>
+#include <vector>
+
+namespace slin {
+namespace apps {
+
+//===----------------------------------------------------------------------===//
+// Coefficient designers (the benchmarks' init-function math)
+//===----------------------------------------------------------------------===//
+
+/// Windowed-sinc low-pass design of Figure A-2 (gain \p G, cutoff
+/// \p CutoffRad in radians, \p Taps taps), optionally Hamming-windowed
+/// (the FMRadio variant of Figure A-10).
+std::vector<double> lowPassCoeffs(double G, double CutoffRad, int Taps,
+                                  bool Hamming = false);
+
+/// Spectral-inverse high-pass design with the same window.
+std::vector<double> highPassCoeffs(double G, double CutoffRad, int Taps);
+
+//===----------------------------------------------------------------------===//
+// Filters
+//===----------------------------------------------------------------------===//
+
+/// FIR filter in the convolution-sum form of Figure 1-3:
+/// peek Taps, pop 1 + \p Decimation, push 1.
+std::unique_ptr<Filter> makeFIRFilter(std::vector<double> H,
+                                      const std::string &Name,
+                                      int Decimation = 0);
+
+/// LowPassFilter(g, cutoffFreq, N) of Figure A-2 (+ FMRadio decimation).
+std::unique_ptr<Filter> makeLowPassFilter(double G, double CutoffRad,
+                                          int Taps, int Decimation = 0,
+                                          bool Hamming = false);
+
+/// HighPassFilter counterpart (used by BandPass/BandStop).
+std::unique_ptr<Filter> makeHighPassFilter(double G, double CutoffRad,
+                                           int Taps);
+
+/// BandPassFilter (Figure A-11): low-pass cascaded with high-pass.
+StreamPtr makeBandPassFilter(double Gain, double Ws, double Wp, int Taps,
+                             const std::string &Name);
+
+/// BandStopFilter (Figure A-12): duplicate splitjoin of low/high pass,
+/// summed by an Adder.
+StreamPtr makeBandStopFilter(double Gain, double Wp, double Ws, int Taps,
+                             const std::string &Name);
+
+/// Compressor(M) (Figure A-4): keeps the first of every M items.
+std::unique_ptr<Filter> makeCompressor(int M);
+
+/// Expander(L) (Figure A-5): each input followed by L-1 zeros.
+std::unique_ptr<Filter> makeExpander(int L);
+
+/// Pops N items and pushes their sum (FloatNAdder / FilterBank Adder).
+std::unique_ptr<Filter> makeAdder(int N);
+
+/// push(peek(0) - peek(1)) over pairs (FMRadio FloatDiff).
+std::unique_ptr<Filter> makeFloatDiff();
+
+/// Duplicates each input item (FMRadio FloatDup).
+std::unique_ptr<Filter> makeFloatDup();
+
+/// Identity filter (Vocoder ProcessFilter).
+std::unique_ptr<Filter> makeIdentityFilter(const std::string &Name);
+
+/// Delay by one item with initial value \p Init (DToA).
+std::unique_ptr<Filter> makeDelay(double Init = 0.0);
+
+//===----------------------------------------------------------------------===//
+// Sources and sinks
+//===----------------------------------------------------------------------===//
+
+/// FloatSource of Figure A-3: a repeating ramp of \p Period values
+/// (stateful, hence nonlinear).
+std::unique_ptr<Filter> makeRampSource(int Period = 16);
+
+/// push(x++) (FMRadio FloatOneSource).
+std::unique_ptr<Filter> makeCountingSource();
+
+/// SampledSource(w): push(cos(w*n)) (RateConvert, Figure A-6).
+std::unique_ptr<Filter> makeCosineSource(double W);
+
+/// Sum-of-three-sinusoids source (FilterBank / Oversampler / DToA),
+/// realized as a period-Period lookup of precomputed samples with a
+/// mutable cursor.
+std::unique_ptr<Filter> makeMultiToneSource(int Period = 100);
+
+/// FloatPrinter: prints (to the program sink) and discards one item.
+std::unique_ptr<Filter> makePrinterSink();
+
+} // namespace apps
+} // namespace slin
+
+#endif // SLIN_APPS_DSP_H

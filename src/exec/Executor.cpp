@@ -1,0 +1,363 @@
+//===- exec/Executor.cpp - Stream-graph executor ----------------------------==//
+#include <algorithm>
+
+#include "exec/Executor.h"
+
+#include "sched/Rates.h"
+#include "support/Diag.h"
+
+using namespace slin;
+
+Executor::~Executor() = default;
+
+//===----------------------------------------------------------------------===//
+// Tape adapter
+//===----------------------------------------------------------------------===//
+
+/// Adapts a node's input/output channels to the Tape interface seen by a
+/// firing filter.
+class Executor::NodeTape : public wir::Tape {
+public:
+  NodeTape(Executor &E, int InChan, int OutChan) : E(E) {
+    In = InChan >= 0 ? &E.Channels[static_cast<size_t>(InChan)].Q : nullptr;
+    Out = OutChan >= 0 ? &E.Channels[static_cast<size_t>(OutChan)].Q : nullptr;
+  }
+
+  double peek(int Index) override {
+    assert(In && "peek on a source filter");
+    assert(Index >= 0 && static_cast<size_t>(Index) < In->size() &&
+           "peek beyond available input (scheduler bug)");
+    return (*In)[static_cast<size_t>(Index)];
+  }
+
+  double pop() override {
+    assert(In && !In->empty() && "pop beyond available input");
+    double V = In->front();
+    In->pop_front();
+    return V;
+  }
+
+  void push(double Value) override {
+    assert(Out && "push on a filter without an output channel");
+    Out->push_back(Value);
+  }
+
+  void print(double Value) override { E.Printed.push_back(Value); }
+
+private:
+  Executor &E;
+  std::deque<double> *In;
+  std::deque<double> *Out;
+};
+
+//===----------------------------------------------------------------------===//
+// Flattening
+//===----------------------------------------------------------------------===//
+
+Executor::Executor(const Stream &Root, Options Opts) : Opts(Opts) {
+  ExternalIn = makeChannel();
+  ExternalOut = makeChannel();
+  flatten(Root, ExternalIn, ExternalOut);
+  RootProducesOutput = computeRates(Root).Push > 0;
+  computeChannelCaps();
+}
+
+void Executor::computeChannelCaps() {
+  for (Channel &C : Channels)
+    C.Cap = Opts.ChannelCap;
+  auto Require = [&](int Chan, size_t Need) {
+    if (Chan < 0)
+      return;
+    Channel &C = Channels[static_cast<size_t>(Chan)];
+    size_t Cap = std::max(Opts.MinChannelCap, 2 * Need);
+    C.Cap = std::min(C.Cap, std::max(Cap, C.Q.size()));
+  };
+  for (const Node &N : Nodes) {
+    switch (N.Kind) {
+    case NodeKind::Filter: {
+      int Need = std::max(std::max(N.F->peekRate(), N.F->initPeekRate()), 1);
+      Require(N.In, static_cast<size_t>(Need));
+      break;
+    }
+    case NodeKind::DupSplit:
+      Require(N.In, 1);
+      break;
+    case NodeKind::RRSplit: {
+      size_t Total = 0;
+      for (int W : N.Weights)
+        Total += static_cast<size_t>(W);
+      Require(N.In, Total);
+      break;
+    }
+    case NodeKind::RRJoin:
+      for (size_t K = 0; K != N.Ins.size(); ++K)
+        Require(N.Ins[K], static_cast<size_t>(N.Weights[K]));
+      break;
+    }
+  }
+}
+
+int Executor::makeChannel() {
+  Channels.emplace_back();
+  return static_cast<int>(Channels.size() - 1);
+}
+
+void Executor::flatten(const Stream &S, int InChan, int OutChan) {
+  switch (S.kind()) {
+  case StreamKind::Filter: {
+    const auto *F = cast<Filter>(&S);
+    Node N;
+    N.Kind = NodeKind::Filter;
+    N.Name = F->name();
+    N.F = F;
+    if (F->isNative())
+      N.Native = F->native().clone();
+    else
+      N.State = wir::FieldStore(F->fields());
+    N.In = F->peekRate() == 0 && F->popRate() == 0 && F->initPeekRate() == 0 &&
+                   F->initPopRate() == 0
+               ? -1
+               : InChan;
+    N.Out = OutChan;
+    Nodes.push_back(std::move(N));
+    return;
+  }
+  case StreamKind::Pipeline: {
+    const auto *P = cast<Pipeline>(&S);
+    const auto &Children = P->children();
+    assert(!Children.empty() && "empty pipeline");
+    int Cur = InChan;
+    for (size_t I = 0; I != Children.size(); ++I) {
+      int Next = I + 1 == Children.size() ? OutChan : makeChannel();
+      flatten(*Children[I], Cur, Next);
+      Cur = Next;
+    }
+    return;
+  }
+  case StreamKind::SplitJoin: {
+    const auto *SJ = cast<SplitJoin>(&S);
+    const auto &Children = SJ->children();
+    assert(!Children.empty() && "empty splitjoin");
+
+    Node Split;
+    Split.Kind = SJ->splitter().Kind == Splitter::Duplicate
+                     ? NodeKind::DupSplit
+                     : NodeKind::RRSplit;
+    Split.Name = SJ->name() + ".split";
+    Split.In = InChan;
+    Split.Weights = SJ->splitter().Weights;
+
+    Node Join;
+    Join.Kind = NodeKind::RRJoin;
+    Join.Name = SJ->name() + ".join";
+    Join.Out = OutChan;
+    Join.Weights = SJ->joiner().Weights;
+
+    std::vector<std::pair<int, int>> ChildChans;
+    for (size_t K = 0; K != Children.size(); ++K) {
+      int CIn = makeChannel();
+      int COut = makeChannel();
+      Split.Outs.push_back(CIn);
+      Join.Ins.push_back(COut);
+      ChildChans.push_back({CIn, COut});
+    }
+    // A "null" roundrobin splitter (all weights zero; e.g. Radar's bank of
+    // source channels) moves no data: omit the node entirely.
+    bool NullSplit = Split.Kind == NodeKind::RRSplit &&
+                     SJ->splitter().totalWeight() == 0;
+    if (!NullSplit)
+      Nodes.push_back(std::move(Split));
+    for (size_t K = 0; K != Children.size(); ++K)
+      flatten(*Children[K], ChildChans[K].first, ChildChans[K].second);
+    Nodes.push_back(std::move(Join));
+    return;
+  }
+  case StreamKind::FeedbackLoop: {
+    const auto *FB = cast<FeedbackLoop>(&S);
+    int BodyIn = makeChannel();
+    int BodyOut = makeChannel();
+    int LoopIn = makeChannel();
+    int LoopOut = makeChannel();
+
+    Node Join;
+    Join.Kind = NodeKind::RRJoin;
+    Join.Name = FB->name() + ".join";
+    Join.Ins = {InChan, LoopOut};
+    Join.Weights = FB->joiner().Weights;
+    Join.Out = BodyIn;
+    Nodes.push_back(std::move(Join));
+
+    flatten(FB->body(), BodyIn, BodyOut);
+
+    Node Split;
+    Split.Kind = FB->splitter().Kind == Splitter::Duplicate
+                     ? NodeKind::DupSplit
+                     : NodeKind::RRSplit;
+    Split.Name = FB->name() + ".split";
+    Split.In = BodyOut;
+    Split.Outs = {OutChan, LoopIn};
+    Split.Weights = FB->splitter().Weights;
+    Nodes.push_back(std::move(Split));
+
+    flatten(FB->loop(), LoopIn, LoopOut);
+
+    // Pre-fill the feedback channel so the joiner can start.
+    for (double V : FB->enqueued())
+      Channels[static_cast<size_t>(LoopOut)].Q.push_back(V);
+    return;
+  }
+  }
+  unreachable("unknown stream kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Firing
+//===----------------------------------------------------------------------===//
+
+size_t Executor::inputAvailable(const Node &N) const {
+  if (N.In < 0)
+    return 0;
+  return Channels[static_cast<size_t>(N.In)].Q.size();
+}
+
+bool Executor::canFire(const Node &N) const {
+  auto OutHasRoom = [&](int Chan) {
+    if (Chan < 0)
+      return true;
+    const Channel &C = Channels[static_cast<size_t>(Chan)];
+    return C.Q.size() <= C.Cap;
+  };
+  switch (N.Kind) {
+  case NodeKind::Filter: {
+    size_t Need;
+    if (!N.FiredOnce && N.F->hasInitWork())
+      Need = static_cast<size_t>(N.F->initPeekRate());
+    else
+      Need = static_cast<size_t>(N.F->peekRate());
+    if (N.In >= 0 && inputAvailable(N) < Need)
+      return false;
+    if (N.In < 0 && Need > 0)
+      return false;
+    return OutHasRoom(N.Out);
+  }
+  case NodeKind::DupSplit: {
+    if (inputAvailable(N) < 1)
+      return false;
+    for (int C : N.Outs)
+      if (!OutHasRoom(C))
+        return false;
+    return true;
+  }
+  case NodeKind::RRSplit: {
+    size_t Need = 0;
+    for (int W : N.Weights)
+      Need += static_cast<size_t>(W);
+    if (inputAvailable(N) < Need)
+      return false;
+    for (int C : N.Outs)
+      if (!OutHasRoom(C))
+        return false;
+    return true;
+  }
+  case NodeKind::RRJoin: {
+    for (size_t K = 0; K != N.Ins.size(); ++K)
+      if (Channels[static_cast<size_t>(N.Ins[K])].Q.size() <
+          static_cast<size_t>(N.Weights[K]))
+        return false;
+    return OutHasRoom(N.Out);
+  }
+  }
+  unreachable("unknown node kind");
+}
+
+void Executor::fire(Node &N) {
+  ++Firings;
+  switch (N.Kind) {
+  case NodeKind::Filter: {
+    NodeTape T(*this, N.In, N.Out);
+    bool Init = !N.FiredOnce && N.F->hasInitWork();
+    N.FiredOnce = true;
+    if (N.Native) {
+      if (Init)
+        N.Native->fireInit(T);
+      else
+        N.Native->fire(T);
+      return;
+    }
+    const wir::WorkFunction &W =
+        Init ? *N.F->initWork() : N.F->work();
+    wir::interpret(W, N.F->fields(), N.State, T);
+    return;
+  }
+  case NodeKind::DupSplit: {
+    auto &In = Channels[static_cast<size_t>(N.In)].Q;
+    double V = In.front();
+    In.pop_front();
+    for (int C : N.Outs)
+      Channels[static_cast<size_t>(C)].Q.push_back(V);
+    return;
+  }
+  case NodeKind::RRSplit: {
+    auto &In = Channels[static_cast<size_t>(N.In)].Q;
+    for (size_t K = 0; K != N.Outs.size(); ++K) {
+      auto &Out = Channels[static_cast<size_t>(N.Outs[K])].Q;
+      for (int I = 0; I != N.Weights[K]; ++I) {
+        Out.push_back(In.front());
+        In.pop_front();
+      }
+    }
+    return;
+  }
+  case NodeKind::RRJoin: {
+    auto &Out = Channels[static_cast<size_t>(N.Out)].Q;
+    for (size_t K = 0; K != N.Ins.size(); ++K) {
+      auto &In = Channels[static_cast<size_t>(N.Ins[K])].Q;
+      for (int I = 0; I != N.Weights[K]; ++I) {
+        Out.push_back(In.front());
+        In.pop_front();
+      }
+    }
+    return;
+  }
+  }
+  unreachable("unknown node kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Driving
+//===----------------------------------------------------------------------===//
+
+void Executor::provideInput(const std::vector<double> &Items) {
+  auto &Q = Channels[static_cast<size_t>(ExternalIn)].Q;
+  for (double V : Items)
+    Q.push_back(V);
+}
+
+size_t Executor::outputsProduced() const {
+  if (RootProducesOutput)
+    return Channels[static_cast<size_t>(ExternalOut)].Q.size();
+  return Printed.size();
+}
+
+std::vector<double> Executor::outputSnapshot() const {
+  const auto &Q = Channels[static_cast<size_t>(ExternalOut)].Q;
+  return std::vector<double>(Q.begin(), Q.end());
+}
+
+void Executor::run(size_t NOutputs) {
+  while (outputsProduced() < NOutputs) {
+    bool AnyFired = false;
+    for (Node &N : Nodes) {
+      size_t Batch = 0;
+      while (Batch < Opts.BatchLimit && canFire(N)) {
+        fire(N);
+        AnyFired = true;
+        ++Batch;
+      }
+    }
+    if (!AnyFired)
+      fatalError("stream graph deadlocked: no node can fire (needed " +
+                 std::to_string(NOutputs) + " outputs, have " +
+                 std::to_string(outputsProduced()) + ")");
+  }
+}

@@ -1,0 +1,115 @@
+//===- exec/Executor.h - Stream-graph executor ------------------*- C++ -*-===//
+///
+/// \file
+/// The runtime substitute for the paper's uniprocessor backend + runtime
+/// library (Section 5.1): the hierarchical graph is flattened into filter
+/// nodes, splitter/joiner nodes and FIFO channels, then executed by a
+/// bounded data-driven scheduler — any node whose inputs satisfy its
+/// (init-)peek requirement may fire; channels are capped to bound memory;
+/// a sweep that fires nothing diagnoses a deadlocked (invalid) graph.
+///
+/// This executes arbitrary peeking, mismatched rates, init-work firings
+/// with different rates, and feedback loops with enqueued items, without
+/// computing an initialization schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_EXEC_EXECUTOR_H
+#define SLIN_EXEC_EXECUTOR_H
+
+#include "graph/Stream.h"
+#include "wir/Interp.h"
+
+#include <deque>
+
+namespace slin {
+
+class Executor {
+public:
+  struct Options {
+    /// Upper bound on any channel's high-water mark. Each channel's
+    /// actual cap is derived from its consumer's peek requirement (twice
+    /// the requirement, at least MinChannelCap) so producers stay only
+    /// slightly ahead of consumers and measured windows reflect steady
+    /// state rather than queue fill-up.
+    size_t ChannelCap = 1 << 16;
+    size_t MinChannelCap = 64;
+    /// Max consecutive firings of one node within a sweep.
+    size_t BatchLimit = 1024;
+  };
+
+  explicit Executor(const Stream &Root) : Executor(Root, Options()) {}
+  Executor(const Stream &Root, Options Opts);
+  ~Executor();
+
+  Executor(const Executor &) = delete;
+  Executor &operator=(const Executor &) = delete;
+
+  /// Appends items to the graph's external input channel (for graphs
+  /// whose root consumes input).
+  void provideInput(const std::vector<double> &Items);
+
+  /// Fires nodes until the observable output count reaches \p NOutputs.
+  /// The observable output is the external output channel if the root
+  /// pushes items, otherwise the sequence of printed values.
+  void run(size_t NOutputs);
+
+  /// Items currently on the external output channel (never consumed).
+  std::vector<double> outputSnapshot() const;
+
+  /// Values produced by print statements, in order.
+  const std::vector<double> &printed() const { return Printed; }
+
+  /// Count of observable outputs produced so far.
+  size_t outputsProduced() const;
+
+  /// Total node firings so far (diagnostics).
+  uint64_t firings() const { return Firings; }
+
+private:
+  struct Channel {
+    std::deque<double> Q;
+    size_t Cap = 0; ///< high-water mark (0 until computed)
+  };
+
+  enum class NodeKind { Filter, DupSplit, RRSplit, RRJoin };
+
+  struct Node {
+    NodeKind Kind;
+    std::string Name;
+    // Filter nodes:
+    const Filter *F = nullptr;
+    wir::FieldStore State;
+    std::unique_ptr<NativeFilter> Native;
+    bool FiredOnce = false;
+    // Topology: filters use In/Out; splitters use In/Outs(+Weights);
+    // joiners use Ins(+Weights)/Out. -1 means "none".
+    int In = -1;
+    int Out = -1;
+    std::vector<int> Ins;
+    std::vector<int> Outs;
+    std::vector<int> Weights;
+  };
+
+  class NodeTape;
+
+  int makeChannel();
+  void flatten(const Stream &S, int InChan, int OutChan);
+  void computeChannelCaps();
+  bool canFire(const Node &N) const;
+  void fire(Node &N);
+  size_t inputAvailable(const Node &N) const;
+
+  Options Opts;
+  std::vector<Node> Nodes;
+  std::vector<Channel> Channels;
+  std::vector<double> Printed;
+  int ExternalIn = -1;
+  int ExternalOut = -1;
+  bool RootProducesOutput = false;
+  uint64_t Firings = 0;
+};
+
+} // namespace slin
+
+#endif // SLIN_EXEC_EXECUTOR_H

@@ -1,0 +1,56 @@
+//===- exec/Measure.cpp - Steady-state measurement ---------------------------==//
+
+#include "exec/Measure.h"
+
+#include <chrono>
+
+using namespace slin;
+
+Measurement slin::measureSteadyState(const Stream &Root,
+                                     const MeasureOptions &Opts) {
+  Measurement M;
+
+  // Counting run: warm up, snapshot, run the measured window, diff. The
+  // greedy scheduler may overshoot a requested output count, so both the
+  // op delta and the output delta are taken from actual progress.
+  {
+    Executor E(Root, Opts.Exec);
+    ops::CountingScope Scope;
+    ops::reset();
+    E.run(Opts.WarmupOutputs);
+    OpCounts OpsBefore = ops::counts();
+    size_t OutBefore = E.outputsProduced();
+    E.run(OutBefore + Opts.MeasureOutputs);
+    M.Ops = ops::counts() - OpsBefore;
+    M.Outputs = E.outputsProduced() - OutBefore;
+  }
+
+  // Timing run: identical schedule, counting disabled.
+  if (Opts.MeasureTime) {
+    Executor E(Root, Opts.Exec);
+    ops::CountingScope Scope(false);
+    E.run(Opts.WarmupOutputs);
+    size_t OutBefore = E.outputsProduced();
+    auto Start = std::chrono::steady_clock::now();
+    E.run(OutBefore + Opts.MeasureOutputs);
+    auto End = std::chrono::steady_clock::now();
+    double Secs = std::chrono::duration<double>(End - Start).count();
+    size_t Outs = E.outputsProduced() - OutBefore;
+    // Rescale to the counting run's window size.
+    M.Seconds = Outs ? Secs * static_cast<double>(M.Outputs) /
+                           static_cast<double>(Outs)
+                     : 0.0;
+  }
+  return M;
+}
+
+std::vector<double> slin::collectOutputs(const Stream &Root,
+                                         size_t NOutputs) {
+  Executor E(Root);
+  E.run(NOutputs);
+  std::vector<double> Out =
+      E.printed().empty() ? E.outputSnapshot() : E.printed();
+  if (Out.size() > NOutputs)
+    Out.resize(NOutputs);
+  return Out;
+}

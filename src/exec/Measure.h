@@ -1,0 +1,56 @@
+//===- exec/Measure.h - Steady-state measurement ----------------*- C++ -*-===//
+///
+/// \file
+/// The paper's measurement methodology (Section 5.1): run the program to
+/// steady state, then count floating-point operations (per output) with an
+/// instruction-counting client and separately measure execution time (per
+/// output). This helper reproduces that protocol: a warmup phase absorbs
+/// init-work firings and pipeline fill, then a measured window is run
+/// twice — once with op counting enabled, once uncounted under a wall
+/// clock — and both are normalized per program output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_EXEC_MEASURE_H
+#define SLIN_EXEC_MEASURE_H
+
+#include "exec/Executor.h"
+#include "support/OpCounters.h"
+
+namespace slin {
+
+struct Measurement {
+  OpCounts Ops;          ///< ops executed in the measured window
+  size_t Outputs = 0;    ///< outputs produced in the measured window
+  double Seconds = 0.0;  ///< wall-clock time of the (uncounted) window
+
+  double flopsPerOutput() const {
+    return Outputs ? static_cast<double>(Ops.flops()) / Outputs : 0.0;
+  }
+  double multsPerOutput() const {
+    return Outputs ? static_cast<double>(Ops.mults()) / Outputs : 0.0;
+  }
+  double secondsPerOutput() const {
+    return Outputs ? Seconds / static_cast<double>(Outputs) : 0.0;
+  }
+};
+
+struct MeasureOptions {
+  size_t WarmupOutputs = 256;
+  size_t MeasureOutputs = 2048;
+  bool MeasureTime = true; ///< skip the timing run when false
+  Executor::Options Exec;
+};
+
+/// Measures one configuration of a self-contained (source-driven) graph.
+Measurement measureSteadyState(const Stream &Root,
+                               const MeasureOptions &Opts = MeasureOptions());
+
+/// Runs \p Root until it yields \p NOutputs observable outputs and returns
+/// them (printed values for void->void graphs, external channel items
+/// otherwise). Used by the output-equivalence tests.
+std::vector<double> collectOutputs(const Stream &Root, size_t NOutputs);
+
+} // namespace slin
+
+#endif // SLIN_EXEC_MEASURE_H

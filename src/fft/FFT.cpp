@@ -1,0 +1,274 @@
+//===- fft/FFT.cpp --------------------------------------------------------==//
+
+#include "fft/FFT.h"
+
+#include "support/Diag.h"
+#include "support/OpCounters.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace slin;
+using namespace slin::fft;
+
+namespace {
+
+constexpr double Pi = 3.14159265358979323846;
+
+// Counted complex arithmetic. std::complex operators are not used in the
+// transform kernels so that every real floating-point operation is
+// accounted for individually (4 muls + 2 adds per complex multiply).
+Complex cadd(Complex A, Complex B) {
+  return Complex(ops::add(A.real(), B.real()), ops::add(A.imag(), B.imag()));
+}
+Complex csub(Complex A, Complex B) {
+  return Complex(ops::sub(A.real(), B.real()), ops::sub(A.imag(), B.imag()));
+}
+Complex cmul(Complex A, Complex B) {
+  double Re = ops::sub(ops::mul(A.real(), B.real()),
+                       ops::mul(A.imag(), B.imag()));
+  double Im = ops::add(ops::mul(A.real(), B.imag()),
+                       ops::mul(A.imag(), B.real()));
+  return Complex(Re, Im);
+}
+Complex cscale(Complex A, double S) {
+  return Complex(ops::mul(A.real(), S), ops::mul(A.imag(), S));
+}
+
+} // namespace
+
+size_t fft::nextPowerOfTwo(size_t N) {
+  assert(N >= 1 && "nextPowerOfTwo of zero");
+  size_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+bool fft::isPowerOfTwo(size_t N) { return N != 0 && (N & (N - 1)) == 0; }
+
+FFTPlan::FFTPlan(size_t N) : N(N) {
+  if (!isPowerOfTwo(N))
+    fatalError("FFTPlan size must be a power of two");
+  BitRev.resize(N);
+  size_t LogN = 0;
+  while ((size_t(1) << LogN) < N)
+    ++LogN;
+  for (size_t I = 0; I != N; ++I) {
+    size_t R = 0;
+    for (size_t B = 0; B != LogN; ++B)
+      if (I & (size_t(1) << B))
+        R |= size_t(1) << (LogN - 1 - B);
+    BitRev[I] = R;
+  }
+  Twiddles.resize(N / 2);
+  for (size_t K = 0; K < N / 2; ++K) {
+    double Ang = -2.0 * Pi * static_cast<double>(K) / static_cast<double>(N);
+    Twiddles[K] = Complex(std::cos(Ang), std::sin(Ang));
+  }
+  if (N >= 2) {
+    HalfPlan = std::make_unique<FFTPlan>(N / 2);
+    RealTwiddles.resize(N / 2 + 1);
+    for (size_t K = 0; K <= N / 2; ++K) {
+      double Ang = -2.0 * Pi * static_cast<double>(K) / static_cast<double>(N);
+      RealTwiddles[K] = Complex(std::cos(Ang), std::sin(Ang));
+    }
+    Scratch.resize(N / 2);
+  }
+}
+
+void FFTPlan::transform(Complex *Data, bool Inverse) const {
+  // Bit-reversal permutation.
+  for (size_t I = 0; I != N; ++I)
+    if (BitRev[I] > I)
+      std::swap(Data[I], Data[BitRev[I]]);
+
+  for (size_t Len = 2; Len <= N; Len <<= 1) {
+    size_t Half = Len / 2;
+    size_t Step = N / Len;
+    for (size_t Base = 0; Base != N; Base += Len) {
+      // j == 0: twiddle is 1, no multiply needed.
+      {
+        Complex T = Data[Base + Half];
+        Data[Base + Half] = csub(Data[Base], T);
+        Data[Base] = cadd(Data[Base], T);
+      }
+      for (size_t J = 1; J != Half; ++J) {
+        Complex T;
+        if (J * 4 == Len) {
+          // W = -i (forward) or +i (inverse): a swap and a sign change.
+          Complex D = Data[Base + J + Half];
+          T = Inverse ? Complex(ops::sub(0.0, D.imag()), D.real())
+                      : Complex(D.imag(), ops::sub(0.0, D.real()));
+        } else {
+          Complex W = Twiddles[J * Step];
+          if (Inverse)
+            W = std::conj(W);
+          T = cmul(W, Data[Base + J + Half]);
+        }
+        Data[Base + J + Half] = csub(Data[Base + J], T);
+        Data[Base + J] = cadd(Data[Base + J], T);
+      }
+    }
+  }
+}
+
+void FFTPlan::forward(Complex *Data) const { transform(Data, false); }
+
+void FFTPlan::inverse(Complex *Data) const {
+  transform(Data, true);
+  double Scale = 1.0 / static_cast<double>(N);
+  for (size_t I = 0; I != N; ++I)
+    Data[I] = cscale(Data[I], Scale);
+}
+
+void FFTPlan::forwardReal(const double *In, double *Out) const {
+  if (N == 1) {
+    Out[0] = In[0];
+    return;
+  }
+  if (N == 2) {
+    Out[0] = ops::add(In[0], In[1]);
+    Out[1] = ops::sub(In[0], In[1]);
+    return;
+  }
+  size_t H = N / 2;
+  for (size_t I = 0; I != H; ++I)
+    Scratch[I] = Complex(In[2 * I], In[2 * I + 1]);
+  HalfPlan->forward(Scratch.data());
+
+  // Untangle: X[k] = E[k] + W^k O[k] with
+  //   E[k] = (Z[k] + conj(Z[H-k])) / 2,  O[k] = -i (Z[k] - conj(Z[H-k])) / 2.
+  {
+    double Re0 = Scratch[0].real(), Im0 = Scratch[0].imag();
+    Out[0] = ops::add(Re0, Im0);   // X[0]
+    Out[H] = ops::sub(Re0, Im0);   // X[N/2]
+  }
+  for (size_t K = 1; K != H; ++K) {
+    // X[k] = (Z[k]+conj(Z[H-k]))/2 + W^k * (-i)(Z[k]-conj(Z[H-k]))/2;
+    // the halvings are folded into a 0.5*W^k twiddle and one 0.5 scale.
+    Complex Zk = Scratch[K];
+    Complex Zm = std::conj(Scratch[H - K]);
+    Complex A = cadd(Zk, Zm);
+    Complex D = csub(Zk, Zm);
+    Complex O = Complex(D.imag(), -D.real()); // -i * D, free
+    Complex HalfW = 0.5 * RealTwiddles[K];    // precomputed-style constant
+    Complex X = cadd(cscale(A, 0.5), cmul(HalfW, O));
+    Out[K] = X.real();
+    Out[N - K] = X.imag();
+  }
+}
+
+void FFTPlan::inverseReal(const double *In, double *Out) const {
+  if (N == 1) {
+    Out[0] = In[0];
+    return;
+  }
+  if (N == 2) {
+    Out[0] = ops::mul(ops::add(In[0], In[1]), 0.5);
+    Out[1] = ops::mul(ops::sub(In[0], In[1]), 0.5);
+    return;
+  }
+  size_t H = N / 2;
+  // Rebuild Z[k] = E[k] + i O[k] from the half-complex spectrum.
+  for (size_t K = 0; K != H; ++K) {
+    Complex Xk = K == 0 ? Complex(In[0], 0.0) : Complex(In[K], In[N - K]);
+    // X[H-K]; for K == 0 this is the purely real Nyquist bin X[N/2].
+    size_t M = H - K;
+    Complex Xm = M == H ? Complex(In[H], 0.0) : Complex(In[M], In[N - M]);
+    Complex A = cadd(Xk, std::conj(Xm));
+    Complex D = csub(Xk, std::conj(Xm));
+    // O = e^{+2pi i k/N} * D / 2, with the halving folded into the twiddle.
+    Complex O = cmul(0.5 * std::conj(RealTwiddles[K]), D);
+    // Z = A/2 + i*O.
+    Complex HalfA = cscale(A, 0.5);
+    Scratch[K] = Complex(ops::sub(HalfA.real(), O.imag()),
+                         ops::add(HalfA.imag(), O.real()));
+  }
+  HalfPlan->inverse(Scratch.data());
+  for (size_t I = 0; I != H; ++I) {
+    Out[2 * I] = Scratch[I].real();
+    Out[2 * I + 1] = Scratch[I].imag();
+  }
+}
+
+void fft::multiplyHalfComplex(size_t N, const double *A, const double *B,
+                              double *Out) {
+  assert(isPowerOfTwo(N) && "half-complex size must be a power of two");
+  if (N == 1) {
+    Out[0] = ops::mul(A[0], B[0]);
+    return;
+  }
+  Out[0] = ops::mul(A[0], B[0]);
+  Out[N / 2] = ops::mul(A[N / 2], B[N / 2]);
+  for (size_t K = 1; K != N / 2; ++K) {
+    Complex X(A[K], A[N - K]);
+    Complex H(B[K], B[N - K]);
+    Complex Y = cmul(X, H);
+    Out[K] = Y.real();
+    Out[N - K] = Y.imag();
+  }
+}
+
+namespace {
+
+void simpleFFTRec(std::vector<Complex> &Data, bool Inverse) {
+  size_t N = Data.size();
+  if (N == 1)
+    return;
+  std::vector<Complex> Even(N / 2), Odd(N / 2);
+  for (size_t I = 0; I != N / 2; ++I) {
+    Even[I] = Data[2 * I];
+    Odd[I] = Data[2 * I + 1];
+  }
+  simpleFFTRec(Even, Inverse);
+  simpleFFTRec(Odd, Inverse);
+  double Sign = Inverse ? 2.0 * Pi : -2.0 * Pi;
+  for (size_t K = 0; K != N / 2; ++K) {
+    double Ang = Sign * static_cast<double>(K) / static_cast<double>(N);
+    Complex W(std::cos(Ang), std::sin(Ang));
+    Complex T = cmul(W, Odd[K]);
+    Data[K] = cadd(Even[K], T);
+    Data[K + N / 2] = csub(Even[K], T);
+  }
+}
+
+} // namespace
+
+void fft::simpleFFT(std::vector<Complex> &Data, bool Inverse) {
+  if (!isPowerOfTwo(Data.size()))
+    fatalError("simpleFFT size must be a power of two");
+  simpleFFTRec(Data, Inverse);
+  if (Inverse) {
+    double Scale = 1.0 / static_cast<double>(Data.size());
+    for (Complex &C : Data)
+      C = cscale(C, Scale);
+  }
+}
+
+std::vector<Complex> fft::slowDFT(const std::vector<Complex> &In,
+                                  bool Inverse) {
+  size_t N = In.size();
+  std::vector<Complex> Out(N);
+  double Sign = Inverse ? 2.0 * Pi : -2.0 * Pi;
+  for (size_t K = 0; K != N; ++K) {
+    Complex Sum(0.0, 0.0);
+    for (size_t J = 0; J != N; ++J) {
+      double Ang = Sign * static_cast<double>(K * J) / static_cast<double>(N);
+      Sum += In[J] * Complex(std::cos(Ang), std::sin(Ang));
+    }
+    Out[K] = Inverse ? Sum / static_cast<double>(N) : Sum;
+  }
+  return Out;
+}
+
+std::vector<double> fft::directConvolve(const std::vector<double> &X,
+                                        const std::vector<double> &H) {
+  if (X.empty() || H.empty())
+    return {};
+  std::vector<double> Y(X.size() + H.size() - 1, 0.0);
+  for (size_t I = 0; I != X.size(); ++I)
+    for (size_t J = 0; J != H.size(); ++J)
+      Y[I + J] += X[I] * H[J];
+  return Y;
+}

@@ -1,0 +1,183 @@
+//===- graph/Stream.cpp - Hierarchical stream graph -------------------------==//
+
+#include "graph/Stream.h"
+
+#include "support/Diag.h"
+
+#include <cstdio>
+#include <numeric>
+
+using namespace slin;
+
+Stream::~Stream() = default;
+NativeFilter::~NativeFilter() = default;
+
+int Splitter::totalWeight() const {
+  return std::accumulate(Weights.begin(), Weights.end(), 0);
+}
+
+int Joiner::totalWeight() const {
+  return std::accumulate(Weights.begin(), Weights.end(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Filter
+//===----------------------------------------------------------------------===//
+
+Filter::Filter(std::string Name, std::vector<wir::FieldDef> Fields,
+               wir::WorkFunction Work)
+    : Stream(StreamKind::Filter, std::move(Name)), Fields(std::move(Fields)),
+      Work(std::move(Work)) {}
+
+Filter::Filter(std::string Name, std::unique_ptr<NativeFilter> Native)
+    : Stream(StreamKind::Filter, std::move(Name)), Native(std::move(Native)) {}
+
+StreamPtr Filter::clone() const {
+  if (isNative())
+    return std::make_unique<Filter>(name(), Native->clone());
+  auto F = std::make_unique<Filter>(name(), Fields, Work.clone());
+  if (InitWork)
+    F->setInitWork(InitWork->clone());
+  return F;
+}
+
+int Filter::peekRate() const {
+  return isNative() ? Native->peekRate() : Work.PeekRate;
+}
+int Filter::popRate() const {
+  return isNative() ? Native->popRate() : Work.PopRate;
+}
+int Filter::pushRate() const {
+  return isNative() ? Native->pushRate() : Work.PushRate;
+}
+
+bool Filter::hasInitWork() const {
+  return isNative() ? Native->hasInitWork() : InitWork.has_value();
+}
+int Filter::initPeekRate() const {
+  if (isNative())
+    return Native->initPeekRate();
+  return InitWork ? InitWork->PeekRate : peekRate();
+}
+int Filter::initPopRate() const {
+  if (isNative())
+    return Native->initPopRate();
+  return InitWork ? InitWork->PopRate : popRate();
+}
+int Filter::initPushRate() const {
+  if (isNative())
+    return Native->initPushRate();
+  return InitWork ? InitWork->PushRate : pushRate();
+}
+
+//===----------------------------------------------------------------------===//
+// Containers
+//===----------------------------------------------------------------------===//
+
+StreamPtr Pipeline::clone() const {
+  auto P = std::make_unique<Pipeline>(name());
+  for (const StreamPtr &C : Children)
+    P->add(C->clone());
+  return P;
+}
+
+StreamPtr SplitJoin::clone() const {
+  auto SJ = std::make_unique<SplitJoin>(name(), Split, Join);
+  for (const StreamPtr &C : Children)
+    SJ->add(C->clone());
+  return SJ;
+}
+
+StreamPtr FeedbackLoop::clone() const {
+  return std::make_unique<FeedbackLoop>(name(), Join, Body->clone(),
+                                        Loop->clone(), Split, Enqueued);
+}
+
+//===----------------------------------------------------------------------===//
+// Utilities
+//===----------------------------------------------------------------------===//
+
+static void countStreamsImpl(const Stream &S, GraphCounts &C) {
+  switch (S.kind()) {
+  case StreamKind::Filter:
+    ++C.Filters;
+    return;
+  case StreamKind::Pipeline:
+    ++C.Pipelines;
+    for (const StreamPtr &Child : cast<Pipeline>(&S)->children())
+      countStreamsImpl(*Child, C);
+    return;
+  case StreamKind::SplitJoin:
+    ++C.SplitJoins;
+    for (const StreamPtr &Child : cast<SplitJoin>(&S)->children())
+      countStreamsImpl(*Child, C);
+    return;
+  case StreamKind::FeedbackLoop: {
+    ++C.FeedbackLoops;
+    const auto *FB = cast<FeedbackLoop>(&S);
+    countStreamsImpl(FB->body(), C);
+    countStreamsImpl(FB->loop(), C);
+    return;
+  }
+  }
+  unreachable("unknown stream kind");
+}
+
+GraphCounts slin::countStreams(const Stream &Root) {
+  GraphCounts C;
+  countStreamsImpl(Root, C);
+  return C;
+}
+
+static void printGraphImpl(const Stream &S, int Indent, std::string &Out) {
+  Out.append(static_cast<size_t>(Indent) * 2, ' ');
+  switch (S.kind()) {
+  case StreamKind::Filter: {
+    const auto *F = cast<Filter>(&S);
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf), "filter %s (peek %d pop %d push %d)%s\n",
+                  F->name().c_str(), F->peekRate(), F->popRate(),
+                  F->pushRate(), F->isNative() ? " [native]" : "");
+    Out += Buf;
+    return;
+  }
+  case StreamKind::Pipeline: {
+    Out += "pipeline " + S.name() + "\n";
+    for (const StreamPtr &C : cast<Pipeline>(&S)->children())
+      printGraphImpl(*C, Indent + 1, Out);
+    return;
+  }
+  case StreamKind::SplitJoin: {
+    const auto *SJ = cast<SplitJoin>(&S);
+    Out += "splitjoin " + S.name() + " (split ";
+    if (SJ->splitter().Kind == Splitter::Duplicate) {
+      Out += "duplicate";
+    } else {
+      Out += "roundrobin";
+      for (int W : SJ->splitter().Weights)
+        Out += " " + std::to_string(W);
+    }
+    Out += "; join roundrobin";
+    for (int W : SJ->joiner().Weights)
+      Out += " " + std::to_string(W);
+    Out += ")\n";
+    for (const StreamPtr &C : SJ->children())
+      printGraphImpl(*C, Indent + 1, Out);
+    return;
+  }
+  case StreamKind::FeedbackLoop: {
+    const auto *FB = cast<FeedbackLoop>(&S);
+    Out += "feedbackloop " + S.name() + "\n";
+    printGraphImpl(FB->body(), Indent + 1, Out);
+    printGraphImpl(FB->loop(), Indent + 1, Out);
+    return;
+  }
+  }
+  unreachable("unknown stream kind");
+}
+
+std::string slin::printGraph(const Stream &Root) {
+  std::string Out;
+  printGraphImpl(Root, 0, Out);
+  return Out;
+}

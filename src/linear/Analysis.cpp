@@ -1,0 +1,180 @@
+//===- linear/Analysis.cpp - Whole-graph linear analysis --------------------==//
+
+#include "linear/Analysis.h"
+
+#include "support/MathUtil.h"
+
+#include <functional>
+
+using namespace slin;
+
+std::optional<LinearNode> slin::tryCombinePipeline(const LinearNode &First,
+                                                   const LinearNode &Second,
+                                                   size_t MaxElements) {
+  if (First.pushRate() <= 0 || Second.popRate() <= 0)
+    return std::nullopt;
+  int64_t ChanPop = lcm64(First.pushRate(), Second.popRate());
+  int64_t ChanPeek = ChanPop + Second.peekRate() - Second.popRate();
+  int64_t E = (ceilDiv(ChanPeek, First.pushRate()) - 1) * First.popRate() +
+              First.peekRate();
+  int64_t U = ChanPop / Second.popRate() * Second.pushRate();
+  if (E * U > static_cast<int64_t>(MaxElements))
+    return std::nullopt;
+  return combinePipeline(First, Second);
+}
+
+std::optional<LinearNode>
+slin::tryCombineSplitJoin(const std::vector<LinearNode> &Children,
+                          bool Duplicate, const std::vector<int> &SplitWeights,
+                          const std::vector<int> &JoinWeights,
+                          size_t MaxElements) {
+  if (Children.empty() || JoinWeights.size() != Children.size())
+    return std::nullopt;
+  int64_t JoinRep = 1, WTot = 0;
+  for (size_t K = 0; K != Children.size(); ++K) {
+    if (JoinWeights[K] <= 0 || Children[K].pushRate() <= 0)
+      return std::nullopt;
+    JoinRep = lcm64(JoinRep, lcm64(Children[K].pushRate(), JoinWeights[K]) /
+                                 JoinWeights[K]);
+    WTot += JoinWeights[K];
+    if (JoinRep > (int64_t(1) << 24))
+      return std::nullopt;
+  }
+  int64_t VTot = 1;
+  if (!Duplicate) {
+    if (SplitWeights.size() != Children.size())
+      return std::nullopt;
+    VTot = 0;
+    for (int W : SplitWeights)
+      VTot += W;
+  }
+  int64_t MaxPeek = 0;
+  for (size_t K = 0; K != Children.size(); ++K) {
+    int64_t Rep = JoinWeights[K] * JoinRep / Children[K].pushRate();
+    int64_t PeekK = static_cast<int64_t>(Children[K].popRate()) * Rep * VTot +
+                    Children[K].peekRate() * (Duplicate ? 1 : VTot);
+    MaxPeek = std::max(MaxPeek, PeekK);
+  }
+  if (MaxPeek * JoinRep * WTot > static_cast<int64_t>(MaxElements))
+    return std::nullopt;
+  return combineSplitJoin(Children, Duplicate, SplitWeights, JoinWeights);
+}
+
+LinearAnalysis::LinearAnalysis(const Stream &Root, Options Opts) : Opts(Opts) {
+  analyze(Root);
+  // Gather statistics after the map is complete.
+  double VectorSizeSum = 0.0;
+  std::function<void(const Stream &)> Walk = [&](const Stream &S) {
+    switch (S.kind()) {
+    case StreamKind::Filter:
+      ++Statistics.Filters;
+      if (const LinearNode *N = nodeFor(S)) {
+        ++Statistics.LinearFilters;
+        VectorSizeSum +=
+            static_cast<double>(N->peekRate()) * N->pushRate();
+      }
+      return;
+    case StreamKind::Pipeline:
+      ++Statistics.Pipelines;
+      if (nodeFor(S))
+        ++Statistics.LinearPipelines;
+      for (const StreamPtr &C : cast<Pipeline>(&S)->children())
+        Walk(*C);
+      return;
+    case StreamKind::SplitJoin:
+      ++Statistics.SplitJoins;
+      if (nodeFor(S))
+        ++Statistics.LinearSplitJoins;
+      for (const StreamPtr &C : cast<SplitJoin>(&S)->children())
+        Walk(*C);
+      return;
+    case StreamKind::FeedbackLoop:
+      ++Statistics.FeedbackLoops;
+      Walk(cast<FeedbackLoop>(&S)->body());
+      Walk(cast<FeedbackLoop>(&S)->loop());
+      return;
+    }
+  };
+  Walk(Root);
+  if (Statistics.LinearFilters > 0)
+    Statistics.AvgVectorSize = VectorSizeSum / Statistics.LinearFilters;
+}
+
+const LinearNode *LinearAnalysis::nodeFor(const Stream &S) const {
+  auto It = Nodes.find(&S);
+  return It == Nodes.end() ? nullptr : &It->second;
+}
+
+std::string LinearAnalysis::reasonFor(const Stream &S) const {
+  auto It = Reasons.find(&S);
+  return It == Reasons.end() ? std::string() : It->second;
+}
+
+void LinearAnalysis::analyze(const Stream &S) {
+  switch (S.kind()) {
+  case StreamKind::Filter: {
+    ExtractionResult R = extractLinearNode(*cast<Filter>(&S));
+    if (R.Node)
+      Nodes.emplace(&S, std::move(*R.Node));
+    else
+      Reasons.emplace(&S, R.FailureReason);
+    return;
+  }
+  case StreamKind::Pipeline: {
+    const auto *P = cast<Pipeline>(&S);
+    for (const StreamPtr &C : P->children())
+      analyze(*C);
+    std::optional<LinearNode> Folded;
+    for (const StreamPtr &C : P->children()) {
+      const LinearNode *CN = nodeFor(*C);
+      if (!CN) {
+        Reasons.emplace(&S, "child '" + C->name() + "' is nonlinear");
+        return;
+      }
+      if (!Folded) {
+        Folded = *CN;
+        continue;
+      }
+      Folded = tryCombinePipeline(*Folded, *CN, Opts.MaxMatrixElements);
+      if (!Folded) {
+        Reasons.emplace(&S, "pipeline combination exceeds size limit");
+        return;
+      }
+    }
+    if (Folded)
+      Nodes.emplace(&S, std::move(*Folded));
+    else
+      Reasons.emplace(&S, "empty pipeline");
+    return;
+  }
+  case StreamKind::SplitJoin: {
+    const auto *SJ = cast<SplitJoin>(&S);
+    for (const StreamPtr &C : SJ->children())
+      analyze(*C);
+    std::vector<LinearNode> ChildNodes;
+    for (const StreamPtr &C : SJ->children()) {
+      const LinearNode *CN = nodeFor(*C);
+      if (!CN) {
+        Reasons.emplace(&S, "child '" + C->name() + "' is nonlinear");
+        return;
+      }
+      ChildNodes.push_back(*CN);
+    }
+    std::optional<LinearNode> Combined = tryCombineSplitJoin(
+        ChildNodes, SJ->splitter().Kind == Splitter::Duplicate,
+        SJ->splitter().Weights, SJ->joiner().Weights, Opts.MaxMatrixElements);
+    if (Combined)
+      Nodes.emplace(&S, std::move(*Combined));
+    else
+      Reasons.emplace(&S, "splitjoin combination exceeds size limit");
+    return;
+  }
+  case StreamKind::FeedbackLoop: {
+    const auto *FB = cast<FeedbackLoop>(&S);
+    analyze(FB->body());
+    analyze(FB->loop());
+    Reasons.emplace(&S, "feedback loops require linear state (Section 7.1)");
+    return;
+  }
+  }
+}

@@ -1,0 +1,79 @@
+//===- linear/Analysis.h - Whole-graph linear analysis ----------*- C++ -*-===//
+///
+/// \file
+/// The "linear analyzer" of Section 4.4: walks the stream hierarchy
+/// bottom-up, running extraction on filters and the combination rules of
+/// Section 3.3 on containers, producing a map from every stream to its
+/// linear node (or a nonlinearity reason). Replacement passes and the
+/// optimization-selection DP consume this map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_LINEAR_ANALYSIS_H
+#define SLIN_LINEAR_ANALYSIS_H
+
+#include "linear/Extract.h"
+#include "linear/LinearNode.h"
+
+#include <map>
+#include <string>
+
+namespace slin {
+
+/// Pipeline combination with a size guard: returns nothing when the
+/// combined matrix would exceed \p MaxElements entries (or when the lcm
+/// machinery would blow up).
+std::optional<LinearNode> tryCombinePipeline(const LinearNode &First,
+                                             const LinearNode &Second,
+                                             size_t MaxElements);
+
+/// Splitjoin combination with a size guard; see combineSplitJoin.
+std::optional<LinearNode>
+tryCombineSplitJoin(const std::vector<LinearNode> &Children, bool Duplicate,
+                    const std::vector<int> &SplitWeights,
+                    const std::vector<int> &JoinWeights, size_t MaxElements);
+
+class LinearAnalysis {
+public:
+  struct Options {
+    /// Combined matrices larger than this many elements are treated as
+    /// nonlinear containers (guards against lcm blowup; the paper notes
+    /// code-size explosion for Radar without such a restriction).
+    size_t MaxMatrixElements = size_t(1) << 24;
+  };
+
+  explicit LinearAnalysis(const Stream &Root) : LinearAnalysis(Root, Options()) {}
+  LinearAnalysis(const Stream &Root, Options Opts);
+
+  /// The linear node for \p S, or null if \p S is nonlinear.
+  const LinearNode *nodeFor(const Stream &S) const;
+
+  /// Why \p S is nonlinear (empty string if it is linear).
+  std::string reasonFor(const Stream &S) const;
+
+  /// Table 5.2-style statistics over the analyzed graph.
+  struct Stats {
+    int Filters = 0;
+    int LinearFilters = 0;
+    int Pipelines = 0;
+    int LinearPipelines = 0;
+    int SplitJoins = 0;
+    int LinearSplitJoins = 0;
+    int FeedbackLoops = 0;
+    /// Average e*u over linear filters ("average vector size").
+    double AvgVectorSize = 0.0;
+  };
+  Stats stats() const { return Statistics; }
+
+private:
+  void analyze(const Stream &S);
+
+  Options Opts;
+  std::map<const Stream *, LinearNode> Nodes;
+  std::map<const Stream *, std::string> Reasons;
+  Stats Statistics;
+};
+
+} // namespace slin
+
+#endif // SLIN_LINEAR_ANALYSIS_H

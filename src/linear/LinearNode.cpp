@@ -1,0 +1,258 @@
+//===- linear/LinearNode.cpp - Linear node representation -------------------==//
+
+#include "linear/LinearNode.h"
+
+#include "support/Diag.h"
+#include "support/MathUtil.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace slin;
+
+LinearNode::LinearNode(Matrix A, Vector B, int E, int O, int U)
+    : A(std::move(A)), B(std::move(B)), E(E), O(O), U(U) {
+  assert(this->A.rows() == static_cast<size_t>(E) && "A row count != e");
+  assert(this->A.cols() == static_cast<size_t>(U) && "A col count != u");
+  assert(this->B.size() == static_cast<size_t>(U) && "b size != u");
+  assert(E >= O && O >= 0 && U >= 0 && "invalid rates");
+}
+
+Matrix LinearNode::naturalMatrix() const {
+  Matrix C(static_cast<size_t>(E), static_cast<size_t>(U));
+  for (int P = 0; P != E; ++P)
+    for (int J = 0; J != U; ++J)
+      C.at(static_cast<size_t>(P), static_cast<size_t>(J)) = coeff(P, J);
+  return C;
+}
+
+Vector LinearNode::naturalOffsets() const {
+  Vector V(static_cast<size_t>(U));
+  for (int J = 0; J != U; ++J)
+    V[static_cast<size_t>(J)] = offset(J);
+  return V;
+}
+
+std::vector<double> LinearNode::apply(const double *Peeks) const {
+  std::vector<double> Out(static_cast<size_t>(U));
+  for (int J = 0; J != U; ++J) {
+    double Sum = offset(J);
+    for (int P = 0; P != E; ++P)
+      Sum += coeff(P, J) * Peeks[P];
+    Out[static_cast<size_t>(J)] = Sum;
+  }
+  return Out;
+}
+
+std::vector<double> LinearNode::apply(const std::vector<double> &Peeks) const {
+  assert(Peeks.size() >= static_cast<size_t>(E) && "not enough input");
+  return apply(Peeks.data());
+}
+
+std::vector<double> LinearNode::applyStream(const std::vector<double> &Input,
+                                            int Firings) const {
+  assert(static_cast<size_t>((Firings - 1) * O + E) <= Input.size() &&
+         "not enough input for requested firings");
+  std::vector<double> Out;
+  Out.reserve(static_cast<size_t>(Firings * U));
+  for (int F = 0; F != Firings; ++F) {
+    std::vector<double> Y = apply(Input.data() + static_cast<size_t>(F * O));
+    Out.insert(Out.end(), Y.begin(), Y.end());
+  }
+  return Out;
+}
+
+double LinearNode::maxAbsDiff(const LinearNode &O) const {
+  assert(sameRates(O) && "rate mismatch in maxAbsDiff");
+  return std::max(A.maxAbsDiff(O.A), B.maxAbsDiff(O.B));
+}
+
+std::string LinearNode::str() const {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "LinearNode e=%d o=%d u=%d\nA =\n", E, O, U);
+  return std::string(Buf) + A.str() + "\nb = " + B.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Transformation 1: linear expansion
+//===----------------------------------------------------------------------===//
+
+LinearNode slin::expand(const LinearNode &N, int E2, int O2, int U2) {
+  int E1 = N.peekRate(), O1 = N.popRate(), U1 = N.pushRate();
+  assert(U1 > 0 && "cannot expand a node that pushes nothing");
+  assert(E2 >= E1 && "expansion cannot shrink the peek rate");
+  Matrix A2(static_cast<size_t>(E2), static_cast<size_t>(U2));
+  // Copy m (m = 0 is the most recent firing, bottom-right) is shifted up
+  // by m*o rows and left by m*u columns from the (E2-E1, U2-U1) anchor.
+  int64_t Copies = U2 > 0 ? ceilDiv(U2, U1) : 0;
+  for (int64_t M = 0; M != Copies; ++M) {
+    int64_t RowOff = E2 - E1 - M * O1;
+    int64_t ColOff = U2 - U1 - M * U1;
+    for (int I = 0; I != E1; ++I) {
+      int64_t R = RowOff + I;
+      if (R < 0 || R >= E2)
+        continue;
+      for (int J = 0; J != U1; ++J) {
+        int64_t C = ColOff + J;
+        if (C < 0 || C >= U2)
+          continue;
+        A2.at(static_cast<size_t>(R), static_cast<size_t>(C)) +=
+            N.matrix().at(static_cast<size_t>(I), static_cast<size_t>(J));
+      }
+    }
+  }
+  Vector B2(static_cast<size_t>(U2));
+  for (int J = 0; J != U2; ++J)
+    B2[static_cast<size_t>(J)] =
+        N.vector()[static_cast<size_t>(U1 - 1 - (U2 - 1 - J) % U1)];
+  return LinearNode(std::move(A2), std::move(B2), E2, O2, U2);
+}
+
+//===----------------------------------------------------------------------===//
+// Transformation 2: pipeline combination
+//===----------------------------------------------------------------------===//
+
+LinearNode slin::combinePipeline(const LinearNode &First,
+                                 const LinearNode &Second) {
+  int U1 = First.pushRate(), O1 = First.popRate(), E1 = First.peekRate();
+  int E2 = Second.peekRate(), O2 = Second.popRate(), U2 = Second.pushRate();
+  assert(U1 > 0 && O2 > 0 && "pipeline combination requires data flow");
+
+  int64_t ChanPop = lcm64(U1, O2);
+  int64_t ChanPeek = ChanPop + E2 - O2;
+
+  // Expand the upstream node to regenerate the items the downstream node
+  // peeks at but does not consume (Section 3.3.2).
+  LinearNode FirstE =
+      expand(First,
+             static_cast<int>((ceilDiv(ChanPeek, U1) - 1) * O1 + E1),
+             static_cast<int>(ChanPop / U1 * O1), static_cast<int>(ChanPeek));
+  LinearNode SecondE =
+      expand(Second, static_cast<int>(ChanPeek), static_cast<int>(ChanPop),
+             static_cast<int>(ChanPop / O2 * U2));
+
+  Matrix A = FirstE.matrix().multiply(SecondE.matrix());
+  Vector B = SecondE.matrix().leftMultiply(FirstE.vector());
+  for (size_t J = 0; J != B.size(); ++J)
+    B[J] += SecondE.vector()[J];
+  return LinearNode(std::move(A), std::move(B), FirstE.peekRate(),
+                    FirstE.popRate(), SecondE.pushRate());
+}
+
+//===----------------------------------------------------------------------===//
+// Transformation 3: duplicate splitjoin combination
+//===----------------------------------------------------------------------===//
+
+LinearNode
+slin::combineSplitJoinDuplicate(const std::vector<LinearNode> &Children,
+                                const std::vector<int> &JoinWeights) {
+  size_t N = Children.size();
+  assert(N > 0 && JoinWeights.size() == N && "child/weight mismatch");
+
+  // joinRep: joiner cycles per steady state.
+  int64_t JoinRep = 1;
+  for (size_t K = 0; K != N; ++K) {
+    assert(JoinWeights[K] > 0 && "zero joiner weight");
+    assert(Children[K].pushRate() > 0 && "child pushes nothing");
+    JoinRep = lcm64(JoinRep,
+                    lcm64(Children[K].pushRate(), JoinWeights[K]) /
+                        JoinWeights[K]);
+  }
+
+  int64_t WTot = 0;
+  std::vector<int64_t> WSum(N + 1, 0);
+  for (size_t K = 0; K != N; ++K)
+    WSum[K + 1] = WSum[K] + JoinWeights[K];
+  WTot = WSum[N];
+
+  std::vector<int64_t> Reps(N);
+  int64_t MaxPeek = 0;
+  for (size_t K = 0; K != N; ++K) {
+    Reps[K] = JoinWeights[K] * JoinRep / Children[K].pushRate();
+    MaxPeek = std::max<int64_t>(
+        MaxPeek, static_cast<int64_t>(Children[K].popRate()) * Reps[K] +
+                     Children[K].peekRate() - Children[K].popRate());
+  }
+
+  std::vector<LinearNode> Expanded;
+  Expanded.reserve(N);
+  int64_t Pop = -1;
+  for (size_t K = 0; K != N; ++K) {
+    int64_t OK = static_cast<int64_t>(Children[K].popRate()) * Reps[K];
+    int64_t UK = static_cast<int64_t>(Children[K].pushRate()) * Reps[K];
+    if (Pop < 0)
+      Pop = OK;
+    else if (Pop != OK)
+      fatalError("duplicate splitjoin children consume mismatched amounts");
+    Expanded.push_back(expand(Children[K], static_cast<int>(MaxPeek),
+                              static_cast<int>(OK), static_cast<int>(UK)));
+  }
+
+  int64_t UOut = JoinRep * WTot;
+  Matrix A(static_cast<size_t>(MaxPeek), static_cast<size_t>(UOut));
+  Vector B(static_cast<size_t>(UOut));
+  // During joiner cycle m, the p'th of the w_k items taken from child k
+  // lands at output position m*wTot + wSum_k + p; in paper orientation
+  // that is column u' - 1 - q, sourced from child column u_k^e - 1 -
+  // (m*w_k + p).
+  for (size_t K = 0; K != N; ++K) {
+    int64_t UK = Expanded[K].pushRate();
+    for (int64_t M = 0; M != JoinRep; ++M) {
+      for (int64_t P = 0; P != JoinWeights[K]; ++P) {
+        int64_t Q = M * WTot + WSum[K] + P;
+        size_t DstCol = static_cast<size_t>(UOut - 1 - Q);
+        size_t SrcCol = static_cast<size_t>(UK - 1 - (M * JoinWeights[K] + P));
+        A.setColumn(DstCol, Expanded[K].matrix().column(SrcCol));
+        B[DstCol] = Expanded[K].vector()[SrcCol];
+      }
+    }
+  }
+  return LinearNode(std::move(A), std::move(B), static_cast<int>(MaxPeek),
+                    static_cast<int>(Pop), static_cast<int>(UOut));
+}
+
+//===----------------------------------------------------------------------===//
+// Transformation 4: roundrobin to duplicate
+//===----------------------------------------------------------------------===//
+
+LinearNode slin::makeDecimator(int VTot, int VSumK, int VK) {
+  assert(VK > 0 && VSumK + VK <= VTot && "bad decimator parameters");
+  Matrix A(static_cast<size_t>(VTot), static_cast<size_t>(VK));
+  // A[i, j] = 1 iff i = vTot - vSum_{k+1} + j  (Transformation 4), which
+  // copies peek(vSum_k + p) into push p.
+  for (int J = 0; J != VK; ++J) {
+    int I = VTot - (VSumK + VK) + J;
+    A.at(static_cast<size_t>(I), static_cast<size_t>(J)) = 1.0;
+  }
+  return LinearNode(std::move(A), Vector(static_cast<size_t>(VK)), VTot, VTot,
+                    VK);
+}
+
+std::vector<LinearNode>
+slin::roundRobinToDuplicate(const std::vector<LinearNode> &Children,
+                            const std::vector<int> &SplitWeights) {
+  size_t N = Children.size();
+  assert(SplitWeights.size() == N && "child/weight mismatch");
+  int VTot = 0;
+  for (int W : SplitWeights)
+    VTot += W;
+  std::vector<LinearNode> Out;
+  Out.reserve(N);
+  int VSum = 0;
+  for (size_t K = 0; K != N; ++K) {
+    Out.push_back(combinePipeline(makeDecimator(VTot, VSum, SplitWeights[K]),
+                                  Children[K]));
+    VSum += SplitWeights[K];
+  }
+  return Out;
+}
+
+LinearNode slin::combineSplitJoin(const std::vector<LinearNode> &Children,
+                                  bool DuplicateSplitter,
+                                  const std::vector<int> &SplitWeights,
+                                  const std::vector<int> &JoinWeights) {
+  if (DuplicateSplitter)
+    return combineSplitJoinDuplicate(Children, JoinWeights);
+  return combineSplitJoinDuplicate(
+      roundRobinToDuplicate(Children, SplitWeights), JoinWeights);
+}

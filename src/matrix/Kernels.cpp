@@ -1,0 +1,98 @@
+//===- matrix/Kernels.cpp -------------------------------------------------==//
+
+#include "matrix/Kernels.h"
+
+#include "support/OpCounters.h"
+
+#include <cassert>
+
+using namespace slin;
+
+PackedLinearKernel::PackedLinearKernel(const Matrix &CNat, const Vector &B)
+    : PeekRate(static_cast<int>(CNat.rows())), Dense(CNat) {
+  assert(B.size() == CNat.cols() && "offset size mismatch");
+  size_t E = CNat.rows(), U = CNat.cols();
+  Columns.resize(U);
+  for (size_t J = 0; J != U; ++J) {
+    Column &Col = Columns[J];
+    Col.Offset = B[J];
+    size_t First = 0, Last = E; // [First, Last)
+    while (First < E && CNat.at(First, J) == 0.0)
+      ++First;
+    while (Last > First && CNat.at(Last - 1, J) == 0.0)
+      --Last;
+    Col.First = static_cast<int>(First);
+    Col.Coeffs.reserve(Last - First);
+    for (size_t P = First; P != Last; ++P)
+      Col.Coeffs.push_back(CNat.at(P, J));
+  }
+}
+
+void PackedLinearKernel::applyBanded(const double *In, double *Out) const {
+  for (size_t J = 0, U = Columns.size(); J != U; ++J) {
+    const Column &Col = Columns[J];
+    double Sum = 0.0;
+    const double *Window = In + Col.First;
+    for (size_t I = 0, N = Col.Coeffs.size(); I != N; ++I)
+      Sum = ops::fma(Sum, Col.Coeffs[I], Window[I]);
+    if (Col.Offset != 0.0)
+      Sum = ops::add(Sum, Col.Offset);
+    Out[J] = Sum;
+  }
+}
+
+void PackedLinearKernel::applyDense(const double *In, double *Out) const {
+  size_t E = Dense.rows(), U = Dense.cols();
+  for (size_t J = 0; J != U; ++J) {
+    double Sum = 0.0;
+    for (size_t P = 0; P != E; ++P)
+      Sum = ops::fma(Sum, Dense.at(P, J), In[P]);
+    if (Columns[J].Offset != 0.0)
+      Sum = ops::add(Sum, Columns[J].Offset);
+    Out[J] = Sum;
+  }
+}
+
+size_t PackedLinearKernel::bandedMultiplyCount() const {
+  size_t N = 0;
+  for (const Column &Col : Columns)
+    N += Col.Coeffs.size();
+  return N;
+}
+
+TunedGemv::TunedGemv(const Matrix &CNat, const Vector &B)
+    : E(static_cast<int>(CNat.rows())), U(static_cast<int>(CNat.cols())),
+      RowMajorT(CNat.rows() * CNat.cols()), Offsets(B.size()),
+      Staging(CNat.rows()) {
+  assert(B.size() == CNat.cols() && "offset size mismatch");
+  for (int J = 0; J != U; ++J) {
+    Offsets[J] = B[J];
+    for (int P = 0; P != E; ++P)
+      RowMajorT[static_cast<size_t>(J) * E + P] = CNat.at(P, J);
+  }
+}
+
+void TunedGemv::apply(const double *In, double *Out) const {
+  // Interface overhead: stage the input window, as the paper's ATLAS
+  // wrapper copied the tape into a contiguous buffer.
+  for (int P = 0; P != E; ++P)
+    Staging[P] = In[P];
+
+  for (int J = 0; J != U; ++J) {
+    const double *Row = RowMajorT.data() + static_cast<size_t>(J) * E;
+    double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+    int P = 0;
+    for (; P + 4 <= E; P += 4) {
+      S0 = ops::fma(S0, Row[P + 0], Staging[P + 0]);
+      S1 = ops::fma(S1, Row[P + 1], Staging[P + 1]);
+      S2 = ops::fma(S2, Row[P + 2], Staging[P + 2]);
+      S3 = ops::fma(S3, Row[P + 3], Staging[P + 3]);
+    }
+    for (; P != E; ++P)
+      S0 = ops::fma(S0, Row[P], Staging[P]);
+    double Sum = ops::add(ops::add(S0, S1), ops::add(S2, S3));
+    if (Offsets[J] != 0.0)
+      Sum = ops::add(Sum, Offsets[J]);
+    Out[J] = Sum;
+  }
+}

@@ -1,0 +1,138 @@
+//===- matrix/Matrix.cpp --------------------------------------------------==//
+
+#include "matrix/Matrix.h"
+
+#include "support/Diag.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace slin;
+
+size_t Vector::countNonZero() const {
+  size_t N = 0;
+  for (double D : Data)
+    if (D != 0.0)
+      ++N;
+  return N;
+}
+
+double Vector::maxAbsDiff(const Vector &O) const {
+  assert(size() == O.size() && "size mismatch in maxAbsDiff");
+  double Max = 0.0;
+  for (size_t I = 0, E = size(); I != E; ++I)
+    Max = std::max(Max, std::fabs(Data[I] - O.Data[I]));
+  return Max;
+}
+
+std::string Vector::str() const {
+  std::string S = "[";
+  char Buf[32];
+  for (size_t I = 0, E = size(); I != E; ++I) {
+    std::snprintf(Buf, sizeof(Buf), "%g", Data[I]);
+    if (I)
+      S += ", ";
+    S += Buf;
+  }
+  S += "]";
+  return S;
+}
+
+Matrix Matrix::fromRows(
+    std::initializer_list<std::initializer_list<double>> Rows) {
+  Matrix M(Rows.size(), Rows.size() ? Rows.begin()->size() : 0);
+  size_t R = 0;
+  for (const auto &Row : Rows) {
+    if (Row.size() != M.cols())
+      fatalError("Matrix::fromRows: ragged initializer");
+    size_t C = 0;
+    for (double D : Row)
+      M.at(R, C++) = D;
+    ++R;
+  }
+  return M;
+}
+
+Matrix Matrix::identity(size_t N) {
+  Matrix M(N, N);
+  for (size_t I = 0; I != N; ++I)
+    M.at(I, I) = 1.0;
+  return M;
+}
+
+Matrix Matrix::multiply(const Matrix &O) const {
+  assert(NumCols == O.NumRows && "dimension mismatch in multiply");
+  Matrix R(NumRows, O.NumCols);
+  for (size_t I = 0; I != NumRows; ++I) {
+    for (size_t K = 0; K != NumCols; ++K) {
+      double V = at(I, K);
+      if (V == 0.0)
+        continue;
+      const double *ORow = O.rowData(K);
+      for (size_t J = 0; J != O.NumCols; ++J)
+        R.at(I, J) += V * ORow[J];
+    }
+  }
+  return R;
+}
+
+Vector Matrix::leftMultiply(const Vector &V) const {
+  assert(V.size() == NumRows && "dimension mismatch in leftMultiply");
+  Vector R(NumCols);
+  for (size_t I = 0; I != NumRows; ++I) {
+    double S = V[I];
+    if (S == 0.0)
+      continue;
+    const double *Row = rowData(I);
+    for (size_t J = 0; J != NumCols; ++J)
+      R[J] += S * Row[J];
+  }
+  return R;
+}
+
+Vector Matrix::column(size_t C) const {
+  assert(C < NumCols && "column out of range");
+  Vector V(NumRows);
+  for (size_t R = 0; R != NumRows; ++R)
+    V[R] = at(R, C);
+  return V;
+}
+
+void Matrix::setColumn(size_t C, const Vector &V) {
+  assert(C < NumCols && V.size() == NumRows && "bad setColumn");
+  for (size_t R = 0; R != NumRows; ++R)
+    at(R, C) = V[R];
+}
+
+size_t Matrix::countNonZero() const {
+  size_t N = 0;
+  for (double D : Data)
+    if (D != 0.0)
+      ++N;
+  return N;
+}
+
+double Matrix::maxAbsDiff(const Matrix &O) const {
+  assert(NumRows == O.NumRows && NumCols == O.NumCols &&
+         "dimension mismatch in maxAbsDiff");
+  double Max = 0.0;
+  for (size_t I = 0, E = Data.size(); I != E; ++I)
+    Max = std::max(Max, std::fabs(Data[I] - O.Data[I]));
+  return Max;
+}
+
+std::string Matrix::str() const {
+  std::string S;
+  char Buf[32];
+  for (size_t R = 0; R != NumRows; ++R) {
+    S += R == 0 ? "[" : " ";
+    for (size_t C = 0; C != NumCols; ++C) {
+      std::snprintf(Buf, sizeof(Buf), "%8g", at(R, C));
+      S += Buf;
+      if (C + 1 != NumCols)
+        S += " ";
+    }
+    S += R + 1 == NumRows ? "]" : "\n";
+  }
+  return S;
+}

@@ -1,0 +1,123 @@
+//===- matrix/Matrix.h - Dense matrices for linear nodes -------*- C++ -*-===//
+///
+/// \file
+/// Dense row-major matrices and vectors over double. These back the linear
+/// node representation of Definition 1 ({A, b, e, o, u}) and the
+/// combination transformations of Section 3.3, which are pure matrix
+/// algebra (shifted-copy expansion, matrix product, column interleaving).
+///
+/// Analysis-time algebra is *not* routed through the op counters: the
+/// paper's combination happens at compile time, so it must not perturb
+/// the runtime FLOP measurements. Runtime kernels live in Kernels.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_MATRIX_MATRIX_H
+#define SLIN_MATRIX_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace slin {
+
+/// A dense vector of doubles.
+class Vector {
+public:
+  Vector() = default;
+  explicit Vector(size_t N, double Fill = 0.0) : Data(N, Fill) {}
+  Vector(std::initializer_list<double> Init) : Data(Init) {}
+
+  size_t size() const { return Data.size(); }
+  bool empty() const { return Data.empty(); }
+
+  double &operator[](size_t I) {
+    assert(I < Data.size() && "vector index out of range");
+    return Data[I];
+  }
+  double operator[](size_t I) const {
+    assert(I < Data.size() && "vector index out of range");
+    return Data[I];
+  }
+
+  const double *data() const { return Data.data(); }
+  double *data() { return Data.data(); }
+
+  bool operator==(const Vector &O) const { return Data == O.Data; }
+
+  /// Number of entries different from zero.
+  size_t countNonZero() const;
+
+  /// Max-norm distance to \p O; the vectors must have equal size.
+  double maxAbsDiff(const Vector &O) const;
+
+  std::string str() const;
+
+private:
+  std::vector<double> Data;
+};
+
+/// A dense row-major matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(size_t Rows, size_t Cols, double Fill = 0.0)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+  /// Builds a matrix from a row-major initializer list; all rows must have
+  /// the same length.
+  static Matrix fromRows(std::initializer_list<std::initializer_list<double>> Rows);
+
+  /// The N x N identity matrix.
+  static Matrix identity(size_t N);
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  const double *rowData(size_t R) const {
+    assert(R < NumRows && "row out of range");
+    return Data.data() + R * NumCols;
+  }
+
+  /// Matrix product; requires cols() == O.rows().
+  Matrix multiply(const Matrix &O) const;
+
+  /// Row-vector * matrix product: returns V * this (V has rows() entries).
+  Vector leftMultiply(const Vector &V) const;
+
+  /// Extracts column \p C as a vector of rows() entries.
+  Vector column(size_t C) const;
+
+  /// Overwrites column \p C with \p V (must have rows() entries).
+  void setColumn(size_t C, const Vector &V);
+
+  size_t countNonZero() const;
+
+  bool operator==(const Matrix &O) const {
+    return NumRows == O.NumRows && NumCols == O.NumCols && Data == O.Data;
+  }
+
+  /// Max-norm distance to \p O; dimensions must match.
+  double maxAbsDiff(const Matrix &O) const;
+
+  std::string str() const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+} // namespace slin
+
+#endif // SLIN_MATRIX_MATRIX_H

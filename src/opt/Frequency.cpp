@@ -1,0 +1,341 @@
+//===- opt/Frequency.cpp - Frequency replacement -----------------------------==//
+
+#include "opt/Frequency.h"
+
+#include "fft/FFT.h"
+#include "linear/Analysis.h"
+#include "support/Diag.h"
+#include "support/MathUtil.h"
+#include "support/OpCounters.h"
+#include "wir/Build.h"
+
+#include <cmath>
+
+using namespace slin;
+using namespace slin::fft;
+
+namespace {
+
+/// The frequency-domain filter of Transformations 5 and 6. Operates with
+/// an implicit pop rate of one (a decimator downstream restores o > 1).
+class FreqFilterNative : public NativeFilter {
+public:
+  FreqFilterNative(const LinearNode &Node, const FrequencyOptions &Opts)
+      : E(Node.peekRate()), U(Node.pushRate()), Optimized(Opts.Optimized),
+        Tier(Opts.Tier) {
+    N = Opts.FFTSizeOverride
+            ? static_cast<size_t>(Opts.FFTSizeOverride)
+            : nextPowerOfTwo(static_cast<size_t>(2 * E));
+    if (!isPowerOfTwo(N) || N < static_cast<size_t>(2 * E))
+      fatalError("invalid FFT size for frequency replacement");
+    M = static_cast<int>(N) - 2 * E + 1;
+    R = M + E - 1;
+
+    Offsets = Node.naturalOffsets();
+
+    // Precompute the column spectra H_j from h_j[k] = A[k, u-1-j]
+    // (compile-time work; not part of the runtime FLOP counts).
+    ops::CountingScope Scope(false);
+    std::vector<double> HTime(N, 0.0);
+    if (Tier == FFTTier::PlannedReal) {
+      Plan = std::make_shared<FFTPlan>(N);
+      HReal.resize(static_cast<size_t>(U), std::vector<double>(N));
+      for (int J = 0; J != U; ++J) {
+        std::fill(HTime.begin(), HTime.end(), 0.0);
+        for (int K = 0; K != E; ++K)
+          HTime[static_cast<size_t>(K)] = Node.coeff(E - 1 - K, J);
+        Plan->forwardReal(HTime.data(), HReal[static_cast<size_t>(J)].data());
+      }
+      XF.resize(N);
+      YF.resize(N);
+    } else {
+      HCplx.resize(static_cast<size_t>(U), std::vector<Complex>(N));
+      for (int J = 0; J != U; ++J) {
+        std::vector<Complex> Col(N, Complex(0, 0));
+        for (int K = 0; K != E; ++K)
+          Col[static_cast<size_t>(K)] = Node.coeff(E - 1 - K, J);
+        simpleFFT(Col, false);
+        HCplx[static_cast<size_t>(J)] = std::move(Col);
+      }
+      XC.resize(N);
+      YC.resize(N);
+    }
+    XBuf.resize(N);
+    YCols.resize(static_cast<size_t>(U), std::vector<double>(N));
+    Partials.assign(static_cast<size_t>(U) * std::max(E - 1, 0), 0.0);
+  }
+
+  int peekRate() const override { return Optimized ? R : M + E - 1; }
+  int popRate() const override { return Optimized ? R : M; }
+  int pushRate() const override { return U * (Optimized ? R : M); }
+
+  bool hasInitWork() const override { return Optimized; }
+  int initPeekRate() const override { return R; }
+  int initPopRate() const override { return R; }
+  int initPushRate() const override { return U * M; }
+
+  void fire(wir::Tape &T) override {
+    computeColumns(T);
+    if (!Optimized) {
+      emitFull(T);
+      for (int I = 0; I != M; ++I)
+        T.pop();
+      return;
+    }
+    // Optimized steady firing: complete the previous block's partial sums
+    // first (outputs m..m+e-2 of the previous window), then emit the m
+    // full outputs, then consume the whole non-overlapping block.
+    for (int I = 0; I != E - 1; ++I) {
+      for (int J = 0; J != U; ++J) {
+        double &P = Partials[static_cast<size_t>(J) * (E - 1) + I];
+        T.push(ops::add(ops::add(YCols[static_cast<size_t>(J)]
+                                      [static_cast<size_t>(I)],
+                                 P),
+                        Offsets[static_cast<size_t>(J)]));
+        P = YCols[static_cast<size_t>(J)][static_cast<size_t>(M + E - 1 + I)];
+      }
+    }
+    emitFull(T);
+    for (int I = 0; I != R; ++I)
+      T.pop();
+  }
+
+  void fireInit(wir::Tape &T) override {
+    assert(Optimized && "init firing on a naive frequency filter");
+    computeColumns(T);
+    emitFull(T);
+    for (int I = 0; I != E - 1; ++I)
+      for (int J = 0; J != U; ++J)
+        Partials[static_cast<size_t>(J) * (E - 1) + I] =
+            YCols[static_cast<size_t>(J)][static_cast<size_t>(M + E - 1 + I)];
+    for (int I = 0; I != R; ++I)
+      T.pop();
+  }
+
+  std::unique_ptr<NativeFilter> clone() const override {
+    return std::make_unique<FreqFilterNative>(*this);
+  }
+
+private:
+  /// Reads the input window, transforms it, and fills YCols[j] with the
+  /// circular convolution against column j.
+  void computeColumns(wir::Tape &T) {
+    int Window = M + E - 1;
+    for (int I = 0; I != Window; ++I)
+      XBuf[static_cast<size_t>(I)] = T.peek(I);
+    std::fill(XBuf.begin() + Window, XBuf.end(), 0.0);
+
+    if (Tier == FFTTier::PlannedReal) {
+      Plan->forwardReal(XBuf.data(), XF.data());
+      for (int J = 0; J != U; ++J) {
+        multiplyHalfComplex(N, XF.data(), HReal[static_cast<size_t>(J)].data(),
+                            YF.data());
+        Plan->inverseReal(YF.data(), YCols[static_cast<size_t>(J)].data());
+      }
+      return;
+    }
+    for (size_t I = 0; I != N; ++I)
+      XC[I] = Complex(XBuf[I], 0.0);
+    simpleFFT(XC, false);
+    for (int J = 0; J != U; ++J) {
+      const auto &H = HCplx[static_cast<size_t>(J)];
+      for (size_t I = 0; I != N; ++I) {
+        // Counted complex multiply (4 muls + 2 adds).
+        double Re = ops::sub(ops::mul(XC[I].real(), H[I].real()),
+                             ops::mul(XC[I].imag(), H[I].imag()));
+        double Im = ops::add(ops::mul(XC[I].real(), H[I].imag()),
+                             ops::mul(XC[I].imag(), H[I].real()));
+        YC[I] = Complex(Re, Im);
+      }
+      simpleFFT(YC, true);
+      for (size_t I = 0; I != N; ++I)
+        YCols[static_cast<size_t>(J)][I] = YC[I].real();
+    }
+  }
+
+  /// Pushes the m complete outputs y[i+e-1] + b.
+  void emitFull(wir::Tape &T) {
+    for (int I = 0; I != M; ++I)
+      for (int J = 0; J != U; ++J)
+        T.push(ops::add(
+            YCols[static_cast<size_t>(J)][static_cast<size_t>(I + E - 1)],
+            Offsets[static_cast<size_t>(J)]));
+  }
+
+  int E;
+  int U;
+  bool Optimized;
+  FFTTier Tier;
+  size_t N;
+  int M;
+  int R;
+  Vector Offsets;
+  std::shared_ptr<FFTPlan> Plan;
+  std::vector<std::vector<double>> HReal;
+  std::vector<std::vector<Complex>> HCplx;
+  std::vector<double> XBuf, XF, YF;
+  std::vector<Complex> XC, YC;
+  std::vector<std::vector<double>> YCols;
+  std::vector<double> Partials; ///< U x (E-1)
+};
+
+/// The decimator of Transformation 5: keeps the u outputs of the first of
+/// every o sliding positions.
+std::unique_ptr<Filter> makeDecimatorFilter(int O, int U,
+                                            const std::string &Name) {
+  using namespace slin::wir;
+  using namespace slin::wir::build;
+  StmtList Body;
+  Body.push_back(loop("i", cst(0), cst(U), stmts(push(pop()))));
+  Body.push_back(loop("i", cst(0), cst(U * (O - 1)), stmts(popStmt())));
+  WorkFunction W(U * O, U * O, U, std::move(Body));
+  return std::make_unique<Filter>(Name, std::vector<wir::FieldDef>{},
+                                  std::move(W));
+}
+
+} // namespace
+
+bool slin::canConvertToFrequency(const LinearNode &N,
+                                 const FrequencyOptions &Opts) {
+  if (N.pushRate() < 1 || N.peekRate() < 1)
+    return false;
+  if (N.popRate() > Opts.PopLimit)
+    return false;
+  if (Opts.FFTSizeOverride &&
+      (!isPowerOfTwo(static_cast<size_t>(Opts.FFTSizeOverride)) ||
+       Opts.FFTSizeOverride < 2 * N.peekRate()))
+    return false;
+  // Bound the FFT size so channel buffers stay reasonable.
+  return N.peekRate() <= (1 << 13);
+}
+
+StreamPtr slin::makeFrequencyStream(const LinearNode &N,
+                                    const std::string &Name,
+                                    const FrequencyOptions &Opts) {
+  assert(canConvertToFrequency(N, Opts) && "node not convertible");
+  auto P = std::make_unique<Pipeline>(Name);
+  P->add(std::make_unique<Filter>(Name + ".fft",
+                                  std::make_unique<FreqFilterNative>(N, Opts)));
+  if (N.popRate() > 1)
+    P->add(makeDecimatorFilter(N.popRate(), N.pushRate(), Name + ".decimate"));
+  return P;
+}
+
+double slin::theoreticalFreqMultsPerOutput(int E, int FFTSize) {
+  double N = FFTSize;
+  double LgN = std::log2(N);
+  double M = N - 2.0 * E + 1.0;
+  assert(M >= 1.0 && "FFT size too small");
+  // Forward + inverse real FFT at (N/2)lg N multiplies each, plus ~2N for
+  // the half-complex pointwise product, amortized over m outputs.
+  return (N * LgN + 2.0 * N) / M;
+}
+
+//===----------------------------------------------------------------------===//
+// Replacement pass
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class FrequencyReplacer {
+public:
+  FrequencyReplacer(const LinearAnalysis &LA, bool Combine,
+                    const FrequencyOptions &Opts)
+      : LA(LA), Combine(Combine), Opts(Opts) {}
+
+  StreamPtr rewrite(const Stream &S) {
+    // Frequency implementations buffer whole blocks (r = m+e-1 items),
+    // which raises latency beyond what a feedback loop's enqueued items
+    // can cover: never convert inside a feedbackloop.
+    const LinearNode *N =
+        !InFeedbackLoop && (Combine || S.kind() == StreamKind::Filter)
+            ? LA.nodeFor(S)
+            : nullptr;
+    if (N && canConvertToFrequency(*N, Opts))
+      return makeFrequencyStream(*N, S.name() + "_freq", Opts);
+
+    switch (S.kind()) {
+    case StreamKind::Filter:
+      return S.clone();
+    case StreamKind::Pipeline:
+      return rewritePipeline(*cast<Pipeline>(&S));
+    case StreamKind::SplitJoin: {
+      const auto *SJ = cast<SplitJoin>(&S);
+      auto Out = std::make_unique<SplitJoin>(SJ->name(), SJ->splitter(),
+                                             SJ->joiner());
+      for (const StreamPtr &C : SJ->children())
+        Out->add(rewrite(*C));
+      return Out;
+    }
+    case StreamKind::FeedbackLoop: {
+      const auto *FB = cast<FeedbackLoop>(&S);
+      bool Saved = InFeedbackLoop;
+      InFeedbackLoop = true;
+      auto Out = std::make_unique<FeedbackLoop>(
+          FB->name(), FB->joiner(), rewrite(FB->body()), rewrite(FB->loop()),
+          FB->splitter(), FB->enqueued());
+      InFeedbackLoop = Saved;
+      return Out;
+    }
+    }
+    unreachable("unknown stream kind");
+  }
+
+private:
+  StreamPtr rewritePipeline(const Pipeline &P) {
+    auto Out = std::make_unique<Pipeline>(P.name());
+    const auto &Children = P.children();
+    size_t I = 0;
+    while (I != Children.size()) {
+      const LinearNode *N =
+          Combine && !InFeedbackLoop ? LA.nodeFor(*Children[I]) : nullptr;
+      if (!N) {
+        Out->add(rewrite(*Children[I]));
+        ++I;
+        continue;
+      }
+      // Maximal linear run; convert the folded node if possible, else
+      // fall back to per-child handling.
+      std::vector<const LinearNode *> Run = {N};
+      size_t End = I + 1;
+      while (End != Children.size()) {
+        const LinearNode *M = LA.nodeFor(*Children[End]);
+        if (!M)
+          break;
+        Run.push_back(M);
+        ++End;
+      }
+      LinearNode Folded = Run.size() == 1 ? *Run.front() : foldRun(Run);
+      if (canConvertToFrequency(Folded, Opts)) {
+        Out->add(makeFrequencyStream(
+            Folded, P.name() + "_freq" + std::to_string(I), Opts));
+        I = End;
+        continue;
+      }
+      for (size_t K = I; K != End; ++K)
+        Out->add(rewrite(*Children[K]));
+      I = End;
+    }
+    return Out;
+  }
+
+  static LinearNode foldRun(const std::vector<const LinearNode *> &Run) {
+    LinearNode Acc = *Run.front();
+    for (size_t I = 1; I != Run.size(); ++I)
+      Acc = combinePipeline(Acc, *Run[I]);
+    return Acc;
+  }
+
+  const LinearAnalysis &LA;
+  bool Combine;
+  FrequencyOptions Opts;
+  bool InFeedbackLoop = false;
+};
+
+} // namespace
+
+StreamPtr slin::replaceFrequency(const Stream &Root, bool Combine,
+                                 const FrequencyOptions &Opts) {
+  LinearAnalysis LA(Root);
+  return FrequencyReplacer(LA, Combine, Opts).rewrite(Root);
+}

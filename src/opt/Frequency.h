@@ -1,0 +1,61 @@
+//===- opt/Frequency.h - Frequency replacement ------------------*- C++ -*-===//
+///
+/// \file
+/// Frequency replacement (Section 4.1): a linear node is implemented as a
+/// blocked convolution in the frequency domain — FFT the input window,
+/// multiply by the precomputed spectra of the node's columns, inverse
+/// FFT, emit outputs, append a decimator when the pop rate exceeds one.
+///
+/// Both the naive implementation (Transformation 5, which recomputes the
+/// overlapping e−1 input items every firing and discards the partial
+/// sums) and the optimized implementation (Transformation 6, which
+/// carries the partial sums across firings in filter state and therefore
+/// consumes non-overlapping blocks) are provided, along with two FFT
+/// tiers matching Figure 5-12: the planned real-input path (the "FFTW"
+/// tier) and an unplanned recursive complex FFT (the "simple" tier).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_OPT_FREQUENCY_H
+#define SLIN_OPT_FREQUENCY_H
+
+#include "graph/Stream.h"
+#include "linear/LinearNode.h"
+
+namespace slin {
+
+enum class FFTTier {
+  PlannedReal,  ///< planned, half-complex real path (FFTW substitute)
+  SimpleComplex ///< textbook recursive complex FFT, no planning
+};
+
+struct FrequencyOptions {
+  bool Optimized = true;       ///< Transformation 6 vs Transformation 5
+  FFTTier Tier = FFTTier::PlannedReal;
+  int FFTSizeOverride = 0;     ///< 0: N = 2^ceil(lg 2e) (paper default)
+  int PopLimit = 1 << 30;      ///< nodes with o > PopLimit are not converted
+};
+
+/// True if \p N can be implemented in the frequency domain under \p Opts.
+bool canConvertToFrequency(const LinearNode &N, const FrequencyOptions &Opts);
+
+/// Builds the frequency implementation of \p N: a pipeline containing the
+/// frequency filter and, when o > 1, the decimator of Transformation 5.
+StreamPtr makeFrequencyStream(const LinearNode &N, const std::string &Name,
+                              const FrequencyOptions &Opts);
+
+/// Rewrites \p Root, replacing (maximal, when \p Combine) linear sections
+/// with frequency implementations where convertible; non-convertible
+/// linear sections are left in their original form.
+StreamPtr replaceFrequency(const Stream &Root, bool Combine,
+                           const FrequencyOptions &Opts);
+
+/// Multiplications per output of the frequency implementation, as a
+/// closed-form estimate used by Figure 5-12's "theory" series:
+/// an N-point real FFT costs ~(N/2)lg(N) multiplies; one firing performs
+/// 1+u transforms plus u*N/2-ish pointwise multiplies for m outputs.
+double theoreticalFreqMultsPerOutput(int E, int FFTSize);
+
+} // namespace slin
+
+#endif // SLIN_OPT_FREQUENCY_H

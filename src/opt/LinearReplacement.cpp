@@ -1,0 +1,285 @@
+//===- opt/LinearReplacement.cpp - Linear replacement ------------------------==//
+
+#include "opt/LinearReplacement.h"
+
+#include "matrix/Kernels.h"
+#include "support/Diag.h"
+#include "wir/Build.h"
+
+using namespace slin;
+using namespace slin::wir;
+using namespace slin::wir::build;
+
+//===----------------------------------------------------------------------===//
+// Code generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Unrolled form: push(c0*peek(p0) + c1*peek(p1) + ... + b) per output,
+/// skipping zero coefficients entirely.
+std::unique_ptr<Filter> makeUnrolled(const LinearNode &N,
+                                     const std::string &Name) {
+  StmtList Body;
+  for (int J = 0; J != N.pushRate(); ++J) {
+    ExprPtr Sum;
+    for (int P = 0; P != N.peekRate(); ++P) {
+      double C = N.coeff(P, J);
+      if (C == 0.0)
+        continue;
+      ExprPtr Term = C == 1.0 ? peek(P) : mul(cst(C), peek(P));
+      Sum = Sum ? add(std::move(Sum), std::move(Term)) : std::move(Term);
+    }
+    if (N.offset(J) != 0.0 || !Sum) {
+      ExprPtr Off = cst(N.offset(J));
+      Sum = Sum ? add(std::move(Sum), std::move(Off)) : std::move(Off);
+    }
+    Body.push_back(push(std::move(Sum)));
+  }
+  for (int P = 0; P != N.popRate(); ++P)
+    Body.push_back(popStmt());
+  WorkFunction W(N.peekRate(), N.popRate(), N.pushRate(), std::move(Body));
+  return std::make_unique<Filter>(Name, std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+/// Returns the uniform stride of \p Positions, or 0 if they are not an
+/// arithmetic progression. Combined nodes are frequently "polyphase":
+/// their nonzeros sit at a fixed stride (interleaved channels, upsampled
+/// filters), and a strided loop skips the interior zeros entirely.
+int uniformStride(const std::vector<int> &Positions) {
+  if (Positions.size() < 2)
+    return 1;
+  int Stride = Positions[1] - Positions[0];
+  for (size_t I = 2; I != Positions.size(); ++I)
+    if (Positions[I] - Positions[I - 1] != Stride)
+      return 0;
+  return Stride;
+}
+
+/// Banded form (Figure 5-7): per-column coefficient arrays with the zero
+/// entries trimmed from both ends, multiplied in a loop. Columns whose
+/// nonzeros lie on a uniform stride use a strided loop over the packed
+/// coefficients instead of walking the zero-riddled band.
+std::unique_ptr<Filter> makeBanded(const LinearNode &N,
+                                   const std::string &Name) {
+  std::vector<FieldDef> Fields;
+  StmtList Body;
+  for (int J = 0; J != N.pushRate(); ++J) {
+    std::vector<int> Positions;
+    for (int P = 0; P != N.peekRate(); ++P)
+      if (N.coeff(P, J) != 0.0)
+        Positions.push_back(P);
+    std::string FieldName = "a" + std::to_string(J);
+    std::string SumVar = "sum" + std::to_string(J);
+
+    if (Positions.empty()) {
+      Body.push_back(push(cst(N.offset(J))));
+      continue;
+    }
+
+    int Stride = uniformStride(Positions);
+    std::vector<double> Coeffs;
+    int First = Positions.front();
+    if (Stride > 0) {
+      for (int P : Positions)
+        Coeffs.push_back(N.coeff(P, J));
+    } else {
+      Stride = 1;
+      for (int P = First; P <= Positions.back(); ++P)
+        Coeffs.push_back(N.coeff(P, J));
+    }
+    int Len = static_cast<int>(Coeffs.size());
+    Fields.push_back(FieldDef::constArray(FieldName, std::move(Coeffs)));
+    Body.push_back(assign(SumVar, cst(0)));
+    ExprPtr Index =
+        Stride == 1 ? add(cst(First), vr("i"))
+                    : add(cst(First), mul(cst(Stride), vr("i")));
+    Body.push_back(loop(
+        "i", cst(0), cst(Len),
+        stmts(assign(SumVar, add(vr(SumVar), mul(fldAt(FieldName, vr("i")),
+                                                 peek(std::move(Index))))))));
+    ExprPtr Result = N.offset(J) == 0.0
+                         ? vr(SumVar)
+                         : add(vr(SumVar), cst(N.offset(J)));
+    Body.push_back(push(std::move(Result)));
+  }
+  for (int P = 0; P != N.popRate(); ++P)
+    Body.push_back(popStmt());
+  WorkFunction W(N.peekRate(), N.popRate(), N.pushRate(), std::move(Body));
+  return std::make_unique<Filter>(Name, std::move(Fields), std::move(W));
+}
+
+/// ATLAS-substitute: native filter calling the tuned gemv kernel.
+class TunedLinearFilter : public NativeFilter {
+public:
+  explicit TunedLinearFilter(const LinearNode &N)
+      : E(N.peekRate()), O(N.popRate()), U(N.pushRate()),
+        Kernel(N.naturalMatrix(), N.naturalOffsets()), In(E), Out(U) {}
+
+  int peekRate() const override { return E; }
+  int popRate() const override { return O; }
+  int pushRate() const override { return U; }
+
+  void fire(wir::Tape &T) override {
+    for (int P = 0; P != E; ++P)
+      In[static_cast<size_t>(P)] = T.peek(P);
+    Kernel.apply(In.data(), Out.data());
+    for (int J = 0; J != U; ++J)
+      T.push(Out[static_cast<size_t>(J)]);
+    for (int P = 0; P != O; ++P)
+      T.pop();
+  }
+
+  std::unique_ptr<NativeFilter> clone() const override {
+    return std::make_unique<TunedLinearFilter>(*this);
+  }
+
+private:
+  int E, O, U;
+  TunedGemv Kernel;
+  std::vector<double> In;
+  std::vector<double> Out;
+};
+
+} // namespace
+
+size_t slin::directMultiplyCount(const LinearNode &N) {
+  size_t NNZ = N.nonZeroCount();
+  if (2 * NNZ < 256)
+    return NNZ; // unrolled: one multiply per nonzero coefficient
+  size_t Total = 0;
+  for (int J = 0; J != N.pushRate(); ++J) {
+    std::vector<int> Positions;
+    for (int P = 0; P != N.peekRate(); ++P)
+      if (N.coeff(P, J) != 0.0)
+        Positions.push_back(P);
+    if (Positions.empty())
+      continue;
+    if (uniformStride(Positions) > 0)
+      Total += Positions.size();
+    else
+      Total += static_cast<size_t>(Positions.back() - Positions.front() + 1);
+  }
+  return Total;
+}
+
+std::unique_ptr<Filter> slin::makeLinearFilter(const LinearNode &N,
+                                               const std::string &Name,
+                                               LinearCodeGenStyle Style) {
+  if (Style == LinearCodeGenStyle::Auto)
+    Style = 2 * N.nonZeroCount() < 256 ? LinearCodeGenStyle::Unrolled
+                                       : LinearCodeGenStyle::Banded;
+  switch (Style) {
+  case LinearCodeGenStyle::Unrolled:
+    return makeUnrolled(N, Name);
+  case LinearCodeGenStyle::Banded:
+    return makeBanded(N, Name);
+  case LinearCodeGenStyle::TunedNative:
+    return std::make_unique<Filter>(Name,
+                                    std::make_unique<TunedLinearFilter>(N));
+  case LinearCodeGenStyle::Auto:
+    break;
+  }
+  unreachable("unhandled codegen style");
+}
+
+//===----------------------------------------------------------------------===//
+// Replacement pass
+//===----------------------------------------------------------------------===//
+
+LinearNode
+slin::foldPipelineNodes(const std::vector<const LinearNode *> &Nodes) {
+  assert(!Nodes.empty() && "empty run");
+  LinearNode Acc = *Nodes.front();
+  for (size_t I = 1; I != Nodes.size(); ++I)
+    Acc = combinePipeline(Acc, *Nodes[I]);
+  return Acc;
+}
+
+namespace {
+
+class LinearReplacer {
+public:
+  LinearReplacer(const LinearAnalysis &LA, bool Combine,
+                 LinearCodeGenStyle Style)
+      : LA(LA), Combine(Combine), Style(Style) {}
+
+  StreamPtr rewrite(const Stream &S) {
+    // Whole-stream replacement (containers and filters alike).
+    if (const LinearNode *N = Combine || S.kind() == StreamKind::Filter
+                                  ? LA.nodeFor(S)
+                                  : nullptr)
+      return makeLinearFilter(*N, S.name() + "_linear", Style);
+
+    switch (S.kind()) {
+    case StreamKind::Filter:
+      return S.clone();
+    case StreamKind::Pipeline:
+      return rewritePipeline(*cast<Pipeline>(&S));
+    case StreamKind::SplitJoin: {
+      const auto *SJ = cast<SplitJoin>(&S);
+      auto Out = std::make_unique<SplitJoin>(SJ->name(), SJ->splitter(),
+                                             SJ->joiner());
+      for (const StreamPtr &C : SJ->children())
+        Out->add(rewrite(*C));
+      return Out;
+    }
+    case StreamKind::FeedbackLoop: {
+      const auto *FB = cast<FeedbackLoop>(&S);
+      return std::make_unique<FeedbackLoop>(
+          FB->name(), FB->joiner(), rewrite(FB->body()), rewrite(FB->loop()),
+          FB->splitter(), FB->enqueued());
+    }
+    }
+    unreachable("unknown stream kind");
+  }
+
+private:
+  StreamPtr rewritePipeline(const Pipeline &P) {
+    auto Out = std::make_unique<Pipeline>(P.name());
+    const auto &Children = P.children();
+    size_t I = 0;
+    while (I != Children.size()) {
+      const LinearNode *N = LA.nodeFor(*Children[I]);
+      if (!N) {
+        Out->add(rewrite(*Children[I]));
+        ++I;
+        continue;
+      }
+      if (!Combine) {
+        Out->add(rewrite(*Children[I]));
+        ++I;
+        continue;
+      }
+      // Maximal run of linear siblings starting at I.
+      std::vector<const LinearNode *> Run = {N};
+      size_t End = I + 1;
+      while (End != Children.size()) {
+        const LinearNode *M = LA.nodeFor(*Children[End]);
+        if (!M)
+          break;
+        Run.push_back(M);
+        ++End;
+      }
+      LinearNode Folded = foldPipelineNodes(Run);
+      Out->add(makeLinearFilter(Folded,
+                                P.name() + "_linear" + std::to_string(I),
+                                Style));
+      I = End;
+    }
+    return Out;
+  }
+
+  const LinearAnalysis &LA;
+  bool Combine;
+  LinearCodeGenStyle Style;
+};
+
+} // namespace
+
+StreamPtr slin::replaceLinear(const Stream &Root, bool Combine,
+                              LinearCodeGenStyle Style) {
+  LinearAnalysis LA(Root);
+  return LinearReplacer(LA, Combine, Style).rewrite(Root);
+}

@@ -1,0 +1,62 @@
+//===- opt/LinearReplacement.h - Linear replacement -------------*- C++ -*-===//
+///
+/// \file
+/// Linear replacement (Section 5.2): maximal linear sections of the
+/// stream graph are collapsed into a single node implemented as a matrix
+/// multiply. Three code shapes are provided, mirroring the paper:
+///
+///  * Unrolled — one push per output with an inlined expression that
+///    skips zero coefficients (used for small nodes, < 256 operations);
+///  * Banded — the indexed "diagonal" multiply of Figure 5-7, a loop nest
+///    over per-column coefficient arrays with leading/trailing zeros
+///    removed (used for large nodes);
+///  * TunedNative — a call-out to the ATLAS-substitute TunedGemv kernel
+///    (Section 5.4), including its buffer-copy interface overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_OPT_LINEARREPLACEMENT_H
+#define SLIN_OPT_LINEARREPLACEMENT_H
+
+#include "graph/Stream.h"
+#include "linear/Analysis.h"
+#include "linear/LinearNode.h"
+
+namespace slin {
+
+enum class LinearCodeGenStyle {
+  Auto,       ///< Unrolled below 256 operations, Banded above (paper)
+  Unrolled,
+  Banded,
+  TunedNative ///< ATLAS-substitute gemv call-out
+};
+
+/// Multiplications one firing of the generated direct implementation
+/// performs (Auto style): unrolled code multiplies once per nonzero;
+/// banded code walks each column's band, skipping interior zeros only
+/// when they lie on a uniform stride. The selection cost model uses this
+/// so predicted and generated costs agree.
+size_t directMultiplyCount(const LinearNode &N);
+
+/// Generates a filter implementing \p N directly (Figure 1-4's
+/// CollapsedTwoFilters shape).
+std::unique_ptr<Filter> makeLinearFilter(const LinearNode &N,
+                                         const std::string &Name,
+                                         LinearCodeGenStyle Style);
+
+/// Rewrites \p Root, replacing linear regions with direct implementations.
+/// With \p Combine set, maximal linear sections (whole linear containers
+/// and maximal runs of linear children inside pipelines) are first
+/// collapsed via the Section 3.3 transformations; otherwise each linear
+/// filter is replaced individually ("no combination" configurations of
+/// Figure 5-4).
+StreamPtr replaceLinear(const Stream &Root, bool Combine,
+                        LinearCodeGenStyle Style);
+
+/// Collapses a maximal run of linear siblings: folds their nodes with
+/// combinePipeline. \p Nodes must be non-empty.
+LinearNode foldPipelineNodes(const std::vector<const LinearNode *> &Nodes);
+
+} // namespace slin
+
+#endif // SLIN_OPT_LINEARREPLACEMENT_H

@@ -1,0 +1,50 @@
+//===- opt/Optimizer.cpp - Optimization driver --------------------------------==//
+
+#include "opt/Optimizer.h"
+
+#include "support/Diag.h"
+
+using namespace slin;
+
+StreamPtr slin::optimize(const Stream &Root, const OptimizerOptions &Opts) {
+  switch (Opts.Mode) {
+  case OptMode::Base:
+    return Root.clone();
+  case OptMode::Linear:
+    return replaceLinear(Root, Opts.Combine, Opts.CodeGen);
+  case OptMode::Freq:
+    return replaceFrequency(Root, Opts.Combine, Opts.Freq);
+  case OptMode::Redundancy:
+    return replaceRedundancy(Root);
+  case OptMode::AutoSel: {
+    SelectionOptions SO;
+    SO.Freq = Opts.Freq;
+    SO.CodeGen = Opts.CodeGen;
+    SO.Model = Opts.Model;
+    return selectOptimizations(Root, SO);
+  }
+  }
+  unreachable("unknown optimization mode");
+}
+
+StreamPtr slin::optimizeBase(const Stream &Root) { return Root.clone(); }
+
+StreamPtr slin::optimizeLinear(const Stream &Root, bool Combine) {
+  OptimizerOptions O;
+  O.Mode = OptMode::Linear;
+  O.Combine = Combine;
+  return optimize(Root, O);
+}
+
+StreamPtr slin::optimizeFreq(const Stream &Root, bool Combine) {
+  OptimizerOptions O;
+  O.Mode = OptMode::Freq;
+  O.Combine = Combine;
+  return optimize(Root, O);
+}
+
+StreamPtr slin::optimizeAutoSel(const Stream &Root) {
+  OptimizerOptions O;
+  O.Mode = OptMode::AutoSel;
+  return optimize(Root, O);
+}

@@ -1,0 +1,51 @@
+//===- opt/Optimizer.h - Optimization driver --------------------*- C++ -*-===//
+///
+/// \file
+/// The configurations evaluated in Chapter 5: no optimization (base),
+/// maximal linear replacement, maximal frequency replacement, redundancy
+/// replacement, and automatic optimization selection — each with the
+/// paper's knobs (combination on/off, code-generation backend, naive vs
+/// optimized frequency implementation, FFT tier, pop-rate limit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_OPT_OPTIMIZER_H
+#define SLIN_OPT_OPTIMIZER_H
+
+#include "opt/Frequency.h"
+#include "opt/LinearReplacement.h"
+#include "opt/Redundancy.h"
+#include "opt/Selection.h"
+
+namespace slin {
+
+enum class OptMode {
+  Base,       ///< run the program as written
+  Linear,     ///< maximal linear replacement
+  Freq,       ///< maximal frequency replacement
+  Redundancy, ///< redundancy elimination on every linear filter
+  AutoSel     ///< automatic optimization selection (Section 4.3)
+};
+
+struct OptimizerOptions {
+  OptMode Mode = OptMode::Base;
+  /// Combine adjacent linear streams before replacement (Section 3.3);
+  /// the paper's "(nc)" configurations disable this.
+  bool Combine = true;
+  LinearCodeGenStyle CodeGen = LinearCodeGenStyle::Auto;
+  FrequencyOptions Freq;
+  const CostModel *Model = nullptr; ///< AutoSel only; default paper model
+};
+
+/// Applies the selected optimization configuration to \p Root.
+StreamPtr optimize(const Stream &Root, const OptimizerOptions &Opts);
+
+/// Convenience: the paper's four headline configurations.
+StreamPtr optimizeBase(const Stream &Root);
+StreamPtr optimizeLinear(const Stream &Root, bool Combine = true);
+StreamPtr optimizeFreq(const Stream &Root, bool Combine = true);
+StreamPtr optimizeAutoSel(const Stream &Root);
+
+} // namespace slin
+
+#endif // SLIN_OPT_OPTIMIZER_H

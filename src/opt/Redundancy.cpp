@@ -1,0 +1,226 @@
+//===- opt/Redundancy.cpp - Redundancy elimination ----------------------------==//
+
+#include "opt/Redundancy.h"
+
+#include "linear/Analysis.h"
+#include "support/Diag.h"
+#include "support/MathUtil.h"
+#include "wir/Build.h"
+
+using namespace slin;
+using namespace slin::wir;
+using namespace slin::wir::build;
+
+//===----------------------------------------------------------------------===//
+// Algorithm 3
+//===----------------------------------------------------------------------===//
+
+RedundancyInfo slin::analyzeRedundancy(const LinearNode &N) {
+  RedundancyInfo Info;
+  int E = N.peekRate(), O = N.popRate(), U = N.pushRate();
+  assert(O > 0 && "redundancy analysis requires a consuming node");
+
+  // Enumerate, for each future firing f whose window still overlaps the
+  // current tape, the LCTs it computes over currently-visible items. In
+  // paper coordinates: row >= f*o, pos = f*o + e - 1 - row. Zero
+  // coefficients generate no product and are skipped.
+  int Firings = static_cast<int>(ceilDiv(E, O));
+  for (int F = 0; F != Firings; ++F) {
+    for (int Row = F * O; Row < E; ++Row) {
+      for (int Col = 0; Col != U; ++Col) {
+        double Coeff =
+            N.matrix().at(static_cast<size_t>(Row), static_cast<size_t>(Col));
+        if (Coeff == 0.0)
+          continue;
+        LCT T{Coeff, F * O + E - 1 - Row};
+        Info.UseMap[T].insert(F);
+      }
+    }
+  }
+
+  for (const auto &[T, Uses] : Info.UseMap)
+    if (*Uses.begin() == 0 && *Uses.rbegin() > 0)
+      Info.Reused.insert(T);
+
+  for (const LCT &T : Info.Reused)
+    Info.CompMap[T] = {T, 0};
+  for (const LCT &T : Info.Reused) {
+    for (int F : Info.UseMap.at(T)) {
+      if (F == 0)
+        continue;
+      LCT NT{T.Coeff, T.Pos - F * O};
+      auto UseIt = Info.UseMap.find(NT);
+      if (UseIt == Info.UseMap.end() || *UseIt->second.begin() != 0)
+        continue;
+      auto It = Info.CompMap.find(NT);
+      if (It == Info.CompMap.end() || F > It->second.second)
+        Info.CompMap[NT] = {T, F};
+    }
+  }
+  return Info;
+}
+
+double RedundancyInfo::redundantFraction(const LinearNode &N) const {
+  // Products the direct implementation performs per firing: one per
+  // nonzero cell. Products the cached implementation performs: one store
+  // per reused tuple plus one per term with no cache mapping.
+  size_t Direct = 0, Cached = Reused.size();
+  for (int P = 0; P != N.peekRate(); ++P)
+    for (int J = 0; J != N.pushRate(); ++J) {
+      double C = N.coeff(P, J);
+      if (C == 0.0)
+        continue;
+      ++Direct;
+      LCT T{C, P};
+      auto It = CompMap.find(T);
+      if (It == CompMap.end())
+        ++Cached;
+    }
+  if (Direct == 0)
+    return 0.0;
+  return 1.0 - static_cast<double>(std::min(Cached, Direct)) /
+                   static_cast<double>(Direct);
+}
+
+//===----------------------------------------------------------------------===//
+// Transformation 7
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Filter> slin::makeRedundancyFilter(const LinearNode &N,
+                                                   const std::string &Name) {
+  RedundancyInfo Info = analyzeRedundancy(N);
+  int E = N.peekRate(), O = N.popRate(), U = N.pushRate();
+
+  // Stable tuple numbering for field names.
+  std::map<LCT, int> TupleIdx;
+  for (const LCT &T : Info.Reused) {
+    int Idx = static_cast<int>(TupleIdx.size());
+    TupleIdx[T] = Idx;
+  }
+  auto StateName = [](int Idx) { return "ts" + std::to_string(Idx); };
+  auto IndexName = [](int Idx) { return "ti" + std::to_string(Idx); };
+
+  std::vector<FieldDef> Fields;
+  for (const auto &[T, Idx] : TupleIdx) {
+    int Size = Info.maxUse(T) + 1;
+    Fields.push_back(FieldDef::mutableArray(
+        StateName(Idx), std::vector<double>(static_cast<size_t>(Size), 0.0)));
+    Fields.push_back(FieldDef::mutableScalar(IndexName(Idx), 0.0));
+  }
+
+  // Shared output-emission code: terms are loaded from tuple state where
+  // compMap provides a source, computed directly otherwise.
+  auto MakeBody = [&]() {
+    StmtList Body;
+    // 1. Store this firing's reused products at tupleIndex.
+    for (const auto &[T, Idx] : TupleIdx)
+      Body.push_back(fldArrAssign(StateName(Idx), fld(IndexName(Idx)),
+                                  mul(cst(T.Coeff), peek(T.Pos))));
+    // 2. Emit each output as a sum of loads and direct products.
+    for (int J = 0; J != U; ++J) {
+      ExprPtr Sum;
+      for (int P = 0; P != E; ++P) {
+        double C = N.coeff(P, J);
+        if (C == 0.0)
+          continue;
+        LCT T{C, P};
+        ExprPtr Term;
+        auto It = Info.CompMap.find(T);
+        if (It != Info.CompMap.end()) {
+          const auto &[OT, Use] = It->second;
+          int Idx = TupleIdx.at(OT);
+          int Size = Info.maxUse(OT) + 1;
+          Term = fldAt(StateName(Idx),
+                       mod(add(fld(IndexName(Idx)), cst(Use)), cst(Size)));
+        } else {
+          Term = mul(cst(C), peek(P));
+        }
+        Sum = Sum ? add(std::move(Sum), std::move(Term)) : std::move(Term);
+      }
+      if (N.offset(J) != 0.0 || !Sum) {
+        ExprPtr Off = cst(N.offset(J));
+        Sum = Sum ? add(std::move(Sum), std::move(Off)) : std::move(Off);
+      }
+      Body.push_back(push(std::move(Sum)));
+    }
+    // 3. Rotate the circular buffers (integer index arithmetic).
+    StmtList Rotate;
+    for (const auto &[T, Idx] : TupleIdx) {
+      Rotate.push_back(
+          fldAssign(IndexName(Idx), sub(fld(IndexName(Idx)), cst(1))));
+      Rotate.push_back(ifStmt(
+          lt(fld(IndexName(Idx)), cst(0)),
+          stmts(fldAssign(IndexName(Idx), cst(Info.maxUse(T))))));
+    }
+    if (!Rotate.empty())
+      Body.push_back(std::make_unique<UncountedStmt>(std::move(Rotate)));
+    // 4. Consume.
+    for (int P = 0; P != O; ++P)
+      Body.push_back(popStmt());
+    return Body;
+  };
+
+  WorkFunction Work(E, O, U, MakeBody());
+
+  auto F = std::make_unique<Filter>(Name, std::move(Fields), std::move(Work));
+
+  if (!TupleIdx.empty()) {
+    // initWork: pre-populate the caches with the products that earlier
+    // firings would have stored (tupleIndex starts at 0, so the value
+    // from `use` firings ago belongs in slot `use`), then run a normal
+    // firing.
+    StmtList Init;
+    for (const auto &[T, Idx] : TupleIdx)
+      for (int Use = 1; Use <= Info.maxUse(T); ++Use)
+        Init.push_back(fldArrAssign(StateName(Idx), cst(Use),
+                                    mul(cst(T.Coeff),
+                                        peek(T.Pos - O * Use))));
+    for (StmtPtr &S : MakeBody())
+      Init.push_back(std::move(S));
+    F->setInitWork(WorkFunction(E, O, U, std::move(Init)));
+  }
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Replacement pass
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+StreamPtr rewriteRedundancy(const Stream &S, const LinearAnalysis &LA) {
+  switch (S.kind()) {
+  case StreamKind::Filter:
+    if (const LinearNode *N = LA.nodeFor(S))
+      return makeRedundancyFilter(*N, S.name() + "_noredund");
+    return S.clone();
+  case StreamKind::Pipeline: {
+    auto Out = std::make_unique<Pipeline>(S.name());
+    for (const StreamPtr &C : cast<Pipeline>(&S)->children())
+      Out->add(rewriteRedundancy(*C, LA));
+    return Out;
+  }
+  case StreamKind::SplitJoin: {
+    const auto *SJ = cast<SplitJoin>(&S);
+    auto Out = std::make_unique<SplitJoin>(SJ->name(), SJ->splitter(),
+                                           SJ->joiner());
+    for (const StreamPtr &C : SJ->children())
+      Out->add(rewriteRedundancy(*C, LA));
+    return Out;
+  }
+  case StreamKind::FeedbackLoop: {
+    const auto *FB = cast<FeedbackLoop>(&S);
+    return std::make_unique<FeedbackLoop>(
+        FB->name(), FB->joiner(), rewriteRedundancy(FB->body(), LA),
+        rewriteRedundancy(FB->loop(), LA), FB->splitter(), FB->enqueued());
+  }
+  }
+  unreachable("unknown stream kind");
+}
+
+} // namespace
+
+StreamPtr slin::replaceRedundancy(const Stream &Root) {
+  LinearAnalysis LA(Root);
+  return rewriteRedundancy(Root, LA);
+}

@@ -1,0 +1,76 @@
+//===- opt/Redundancy.h - Redundancy elimination ----------------*- C++ -*-===//
+///
+/// \file
+/// Redundancy elimination (Section 4.2): many linear filters recompute
+/// the same coefficient*input product across firings (e.g. symmetric FIR
+/// taps). Algorithm 3 extracts, from a linear node, the set of *linear
+/// computation tuples* (LCTs — abstract products coeff*peek(pos)) that
+/// recur in future firings; Transformation 7 then generates a filter that
+/// caches those products in circular buffers and loads instead of
+/// recomputing.
+///
+/// As the paper found, the caching overhead usually exceeds the savings
+/// in time — the point of Figure 5-10 — but the multiplication counts
+/// drop; both effects reproduce on our runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_OPT_REDUNDANCY_H
+#define SLIN_OPT_REDUNDANCY_H
+
+#include "graph/Stream.h"
+#include "linear/LinearNode.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace slin {
+
+/// A linear computation tuple: the abstract product Coeff * peek(Pos)
+/// relative to the current firing's input tape (Definition 2).
+struct LCT {
+  double Coeff;
+  int Pos;
+
+  bool operator<(const LCT &O) const {
+    return Pos != O.Pos ? Pos < O.Pos : Coeff < O.Coeff;
+  }
+  bool operator==(const LCT &O) const {
+    return Pos == O.Pos && Coeff == O.Coeff;
+  }
+};
+
+/// Output of Algorithm 3.
+struct RedundancyInfo {
+  /// LCT -> the set of future firings (0 = current) that use its value.
+  std::map<LCT, std::set<int>> UseMap;
+  /// LCTs computed in the current firing and reused later.
+  std::set<LCT> Reused;
+  /// Local tuple -> (cached tuple, firings ago it was stored).
+  std::map<LCT, std::pair<LCT, int>> CompMap;
+
+  int minUse(const LCT &T) const { return *UseMap.at(T).begin(); }
+  int maxUse(const LCT &T) const { return *UseMap.at(T).rbegin(); }
+
+  /// Fraction of the node's nonzero products whose value can be loaded
+  /// from cache instead of recomputed (the paper's "redundancy").
+  double redundantFraction(const LinearNode &N) const;
+};
+
+/// Runs Algorithm 3 on \p N.
+RedundancyInfo analyzeRedundancy(const LinearNode &N);
+
+/// Transformation 7: generates a filter equivalent to \p N that caches
+/// reused products in circular-buffer state.
+std::unique_ptr<Filter> makeRedundancyFilter(const LinearNode &N,
+                                             const std::string &Name);
+
+/// Rewrites \p Root, replacing every linear *filter* with its
+/// redundancy-eliminated form (no combination; Section 5.6 applies this
+/// to the plain FIR benchmark).
+StreamPtr replaceRedundancy(const Stream &Root);
+
+} // namespace slin
+
+#endif // SLIN_OPT_REDUNDANCY_H

@@ -1,0 +1,578 @@
+//===- opt/Selection.cpp - Optimization selection (DP) -----------------------==//
+
+#include "opt/Selection.h"
+
+#include "fft/FFT.h"
+
+#include "sched/Rates.h"
+#include "support/Diag.h"
+#include "support/MathUtil.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+using namespace slin;
+
+CostModel::~CostModel() = default;
+
+bool slin::isSelectionNode(const LinearNode &N) {
+  if (N.nonZeroOffsetCount() != 0)
+    return false;
+  for (int J = 0; J != N.pushRate(); ++J) {
+    int Ones = 0;
+    for (int P = 0; P != N.peekRate(); ++P) {
+      double C = N.coeff(P, J);
+      if (C == 0.0)
+        continue;
+      if (C != 1.0)
+        return false;
+      ++Ones;
+    }
+    if (Ones != 1)
+      return false;
+  }
+  return true;
+}
+
+double CostModel::directCost(const LinearNode &N, bool SelectionOnly) const {
+  if (SelectionOnly)
+    return 0.0;
+  return 185.0 + 2.0 * N.pushRate() +
+         static_cast<double>(N.nonZeroOffsetCount()) +
+         3.0 * static_cast<double>(directMultiplyCount(N));
+}
+
+double CostModel::frequencyCost(const LinearNode &N) const {
+  double U = N.pushRate();
+  double E = N.peekRate();
+  double O = std::max(N.popRate(), 1);
+  double Dec = N.popRate() > 1
+                   ? (N.popRate() - 1) * (185.0 + 4.0 * U)
+                   : 0.0;
+  return 185.0 + 2.0 * U + U * std::log(14.0 * E) * O + Dec;
+}
+
+double MeasuredCostModel::directCost(const LinearNode &N,
+                                     bool SelectionOnly) const {
+  if (SelectionOnly)
+    return 0.0;
+  // Our interpreter: one fma per nonzero coefficient plus per-item tape
+  // overhead of roughly 12 "ops".
+  return 12.0 * (N.popRate() + N.pushRate()) +
+         2.0 * static_cast<double>(directMultiplyCount(N));
+}
+
+double MeasuredCostModel::frequencyCost(const LinearNode &N) const {
+  double E = N.peekRate();
+  double U = N.pushRate();
+  double NFFT = static_cast<double>(fft::nextPowerOfTwo(
+      static_cast<size_t>(std::max(2 * N.peekRate(), 2))));
+  double M = NFFT - 2.0 * E + 1.0;
+  double R = M + E - 1.0;
+  double PerFiring = (1.0 + U) * NFFT * std::log2(NFFT) + 2.0 * U * NFFT +
+                     12.0 * (R + U * R);
+  // Outputs per firing: u*r (optimized); one node firing covers r inputs
+  // while the original covers o — normalize to one original firing.
+  double Decim = N.popRate() > 1 ? 12.0 * U * N.popRate() : 0.0;
+  return PerFiring * (static_cast<double>(N.popRate()) / R) + Decim;
+}
+
+//===----------------------------------------------------------------------===//
+// The DP
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr double Infinity = std::numeric_limits<double>::infinity();
+
+enum class Transform { Any = 0, Linear = 1, Freq = 2, None = 3 };
+
+struct Config {
+  double Cost = Infinity;
+  StreamPtr Str; ///< null iff infeasible
+
+  bool feasible() const { return Str != nullptr; }
+};
+
+Config cloneConfig(const Config &C) {
+  Config R;
+  R.Cost = C.Cost;
+  if (C.Str)
+    R.Str = C.Str->clone();
+  return R;
+}
+
+/// The child grid of a container (Section 4.3.2): splitjoin children are
+/// columns (pipelines stack vertically); a pipeline is a single column.
+struct Grid {
+  const Stream *Container = nullptr;
+  bool IsSplitJoin = false;
+  std::vector<std::vector<const Stream *>> Columns;
+  /// Firings of cell (x, y) per container steady state.
+  std::vector<std::vector<int64_t>> CellReps;
+  int maxHeight() const {
+    size_t H = 0;
+    for (const auto &Col : Columns)
+      H = std::max(H, Col.size());
+    return static_cast<int>(H);
+  }
+};
+
+class Selector {
+public:
+  Selector(const Stream &Root, const SelectionOptions &Opts)
+      : Opts(Opts), Model(Opts.Model ? *Opts.Model : DefaultModel),
+        LA(Root, makeLAOptions(Opts)) {}
+
+  StreamPtr run(const Stream &Root) {
+    Config C = getCost(Root, Transform::Any);
+    if (!C.feasible())
+      fatalError("selection produced no feasible configuration");
+    return C.Str->clone();
+  }
+
+private:
+  static LinearAnalysis::Options makeLAOptions(const SelectionOptions &O) {
+    LinearAnalysis::Options LO;
+    LO.MaxMatrixElements = O.MaxMatrixElements;
+    return LO;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Stream-level costs
+  //===--------------------------------------------------------------------===//
+
+  /// Cost of \p S per one aggregate steady state of \p S.
+  Config getCost(const Stream &S, Transform T) {
+    auto Key = std::make_pair(&S, static_cast<int>(T));
+    auto It = StreamMemo.find(Key);
+    if (It != StreamMemo.end())
+      return cloneConfig(It->second);
+    Config C = computeCost(S, T);
+    auto [Ins, _] = StreamMemo.emplace(Key, std::move(C));
+    return cloneConfig(Ins->second);
+  }
+
+  Config computeCost(const Stream &S, Transform T) {
+    if (T == Transform::Any)
+      return bestOf(getCost(S, Transform::Linear),
+                    getCost(S, Transform::Freq),
+                    getCost(S, Transform::None));
+
+    if (S.kind() == StreamKind::Filter)
+      return filterCost(*cast<Filter>(&S), T);
+
+    if (S.kind() == StreamKind::FeedbackLoop) {
+      if (T != Transform::None)
+        return Config(); // cannot collapse across a feedback loop
+      const auto *FB = cast<FeedbackLoop>(&S);
+      auto Reps = childRepetitions(S);
+      // Frequency conversion is suppressed inside feedback loops (block
+      // buffering would deadlock the cycle).
+      ++FeedbackDepth;
+      Config Body = getCost(FB->body(), Transform::Any);
+      Config Loop = getCost(FB->loop(), Transform::Any);
+      --FeedbackDepth;
+      if (!Body.feasible() || !Loop.feasible())
+        return Config();
+      Config C;
+      C.Cost = Body.Cost * static_cast<double>(Reps[0]) +
+               Loop.Cost * static_cast<double>(Reps[1]);
+      C.Str = std::make_unique<FeedbackLoop>(
+          FB->name(), FB->joiner(), std::move(Body.Str), std::move(Loop.Str),
+          FB->splitter(), FB->enqueued());
+      return C;
+    }
+
+    // Containers: full-rectangle DP.
+    const Grid &G = gridFor(S);
+    int W = static_cast<int>(G.Columns.size());
+    return getRectCost(G, T, 0, W - 1, 0, G.maxHeight() - 1);
+  }
+
+  Config filterCost(const Filter &F, Transform T) {
+    const LinearNode *N = LA.nodeFor(F);
+    Config C;
+    switch (T) {
+    case Transform::Linear:
+      if (!N)
+        return Config();
+      C.Cost = Model.directCost(*N, isSelectionNode(*N));
+      C.Str = makeLinearFilter(*N, F.name() + "_linear", Opts.CodeGen);
+      return C;
+    case Transform::Freq:
+      if (!N || FeedbackDepth > 0 || !canConvertToFrequency(*N, Opts.Freq))
+        return Config();
+      C.Cost = Model.frequencyCost(*N);
+      C.Str = makeFrequencyStream(*N, F.name() + "_freq", Opts.Freq);
+      return C;
+    case Transform::None:
+      // Linear nodes left in place still execute at direct cost;
+      // nonlinear nodes are not tallied (Figure 4-5).
+      C.Cost = N ? Model.directCost(*N, isSelectionNode(*N)) : 0.0;
+      C.Str = F.clone();
+      return C;
+    case Transform::Any:
+      break;
+    }
+    unreachable("unexpected transform");
+  }
+
+  static Config bestOf(Config A, Config B, Config C) {
+    Config *Best = &A;
+    if (B.feasible() && (!Best->feasible() || B.Cost < Best->Cost))
+      Best = &B;
+    if (C.feasible() && (!Best->feasible() || C.Cost < Best->Cost))
+      Best = &C;
+    return std::move(*Best);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Grids
+  //===--------------------------------------------------------------------===//
+
+  const Grid &gridFor(const Stream &S) {
+    auto It = Grids.find(&S);
+    if (It != Grids.end())
+      return It->second;
+    Grid G;
+    G.Container = &S;
+    std::vector<int64_t> Reps = childRepetitions(S);
+    if (const auto *P = dynCast<Pipeline>(&S)) {
+      G.IsSplitJoin = false;
+      std::vector<const Stream *> Col;
+      std::vector<int64_t> ColReps;
+      for (size_t Y = 0; Y != P->children().size(); ++Y) {
+        Col.push_back(P->children()[Y].get());
+        ColReps.push_back(Reps[Y]);
+      }
+      G.Columns.push_back(std::move(Col));
+      G.CellReps.push_back(std::move(ColReps));
+    } else {
+      const auto *SJ = cast<SplitJoin>(&S);
+      G.IsSplitJoin = true;
+      for (size_t X = 0; X != SJ->children().size(); ++X) {
+        const Stream *Child = SJ->children()[X].get();
+        std::vector<const Stream *> Col;
+        std::vector<int64_t> ColReps;
+        if (const auto *CP = dynCast<Pipeline>(Child)) {
+          std::vector<int64_t> Inner = childRepetitions(*Child);
+          for (size_t Y = 0; Y != CP->children().size(); ++Y) {
+            Col.push_back(CP->children()[Y].get());
+            ColReps.push_back(Reps[X] * Inner[Y]);
+          }
+        } else {
+          Col.push_back(Child);
+          ColReps.push_back(Reps[X]);
+        }
+        G.Columns.push_back(std::move(Col));
+        G.CellReps.push_back(std::move(ColReps));
+      }
+    }
+    return Grids.emplace(&S, std::move(G)).first->second;
+  }
+
+  /// Items flowing into cell (x, y1) per container steady state.
+  int64_t flowIntoCell(const Grid &G, int X, int Y) const {
+    const Stream *Cell = G.Columns[static_cast<size_t>(X)]
+                                  [static_cast<size_t>(Y)];
+    return computeRates(*Cell).Pop *
+           G.CellReps[static_cast<size_t>(X)][static_cast<size_t>(Y)];
+  }
+
+  /// Items flowing out of cell (x, y) per container steady state.
+  int64_t flowOutOfCell(const Grid &G, int X, int Y) const {
+    const Stream *Cell = G.Columns[static_cast<size_t>(X)]
+                                  [static_cast<size_t>(Y)];
+    return computeRates(*Cell).Push *
+           G.CellReps[static_cast<size_t>(X)][static_cast<size_t>(Y)];
+  }
+
+  /// Interface weight vector for a cut: the raw per-container-steady-state
+  /// flows. Raw flows (rather than gcd-reduced ones) keep the chunking
+  /// convention globally consistent across rects that span different
+  /// column subsets of the same cut.
+  static std::vector<int> interfaceWeights(const std::vector<int64_t> &Flows) {
+    std::vector<int> W;
+    for (int64_t F : Flows) {
+      assert(F > 0 && "zero interface flow");
+      W.push_back(static_cast<int>(F));
+    }
+    return W;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rectangle costs
+  //===--------------------------------------------------------------------===//
+
+  struct RectKey {
+    const Stream *Container;
+    int T, X1, X2, Y1, Y2;
+    bool operator<(const RectKey &O) const {
+      return std::tie(Container, T, X1, X2, Y1, Y2) <
+             std::tie(O.Container, O.T, O.X1, O.X2, O.Y1, O.Y2);
+    }
+  };
+
+  Config getRectCost(const Grid &G, Transform T, int X1, int X2, int Y1,
+                     int Y2) {
+    // Clip the rect to existing cells and reject empty columns.
+    for (int X = X1; X <= X2; ++X)
+      if (Y1 >= static_cast<int>(G.Columns[static_cast<size_t>(X)].size()))
+        return Config();
+    RectKey Key{G.Container, static_cast<int>(T), X1, X2, Y1, Y2};
+    auto It = RectMemo.find(Key);
+    if (It != RectMemo.end())
+      return cloneConfig(It->second);
+    Config C = computeRectCost(G, T, X1, X2, Y1, Y2);
+    auto [Ins, _] = RectMemo.emplace(std::move(Key), std::move(C));
+    return cloneConfig(Ins->second);
+  }
+
+  Config computeRectCost(const Grid &G, Transform T, int X1, int X2, int Y1,
+                         int Y2) {
+    if (T == Transform::Any)
+      return bestOf(getRectCost(G, Transform::Linear, X1, X2, Y1, Y2),
+                    getRectCost(G, Transform::Freq, X1, X2, Y1, Y2),
+                    getRectCost(G, Transform::None, X1, X2, Y1, Y2));
+
+    // Single cell: descend into the child.
+    int ColHeight1 =
+        static_cast<int>(G.Columns[static_cast<size_t>(X1)].size());
+    if (X1 == X2 && Y1 == std::min(Y2, ColHeight1 - 1)) {
+      const Stream *Cell =
+          G.Columns[static_cast<size_t>(X1)][static_cast<size_t>(Y1)];
+      Config Inner = getCost(*Cell, T);
+      if (!Inner.feasible())
+        return Config();
+      Inner.Cost *= static_cast<double>(
+          G.CellReps[static_cast<size_t>(X1)][static_cast<size_t>(Y1)]);
+      return Inner;
+    }
+
+    if (T == Transform::Linear || T == Transform::Freq)
+      return collapseRect(G, T, X1, X2, Y1, Y2);
+
+    // NONE: refactor via cuts.
+    Config Best;
+    // Horizontal cuts (pipeline splits). Valid only where every column
+    // has cells on both sides of the pivot.
+    int YTop = Y2;
+    for (int X = X1; X <= X2; ++X)
+      YTop = std::min(
+          YTop,
+          static_cast<int>(G.Columns[static_cast<size_t>(X)].size()) - 1);
+    for (int Pivot = Y1; Pivot < YTop; ++Pivot) {
+      Config A = getRectCost(G, Transform::Any, X1, X2, Y1, Pivot);
+      Config B = getRectCost(G, Transform::Any, X1, X2, Pivot + 1, Y2);
+      if (!A.feasible() || !B.feasible())
+        continue;
+      if (A.Cost + B.Cost < Best.Cost || !Best.feasible()) {
+        auto P = std::make_unique<Pipeline>("cut");
+        P->add(std::move(A.Str));
+        P->add(std::move(B.Str));
+        Best.Cost = A.Cost + B.Cost;
+        Best.Str = std::move(P);
+      }
+    }
+    // Vertical cuts (splitjoin splits).
+    if (G.IsSplitJoin && X1 < X2) {
+      for (int Pivot = X1; Pivot < X2; ++Pivot) {
+        Config A = getRectCost(G, Transform::Any, X1, Pivot, Y1, Y2);
+        Config B = getRectCost(G, Transform::Any, Pivot + 1, X2, Y1, Y2);
+        if (!A.feasible() || !B.feasible())
+          continue;
+        if (A.Cost + B.Cost < Best.Cost || !Best.feasible()) {
+          StreamPtr Wrapper = makeVerticalWrapper(G, X1, Pivot, X2, Y1, Y2,
+                                                  std::move(A.Str),
+                                                  std::move(B.Str));
+          if (!Wrapper)
+            continue;
+          Best.Cost = A.Cost + B.Cost;
+          Best.Str = std::move(Wrapper);
+        }
+      }
+    }
+    return Best;
+  }
+
+  /// Collapses rect columns' nodes into one and prices it.
+  Config collapseRect(const Grid &G, Transform T, int X1, int X2, int Y1,
+                      int Y2) {
+    std::optional<LinearNode> Node = rectNode(G, X1, X2, Y1, Y2);
+    if (!Node)
+      return Config();
+    Config C;
+    int64_t Flow = rectInputFlow(G, X1, X2, Y1);
+    double Firings =
+        static_cast<double>(Flow) / static_cast<double>(Node->popRate());
+    if (T == Transform::Linear) {
+      C.Cost = Model.directCost(*Node, isSelectionNode(*Node)) * Firings;
+      C.Str = makeLinearFilter(*Node, "collapsed_linear", Opts.CodeGen);
+      return C;
+    }
+    if (FeedbackDepth > 0 || !canConvertToFrequency(*Node, Opts.Freq))
+      return Config();
+    C.Cost = Model.frequencyCost(*Node) * Firings;
+    C.Str = makeFrequencyStream(*Node, "collapsed_freq", Opts.Freq);
+    return C;
+  }
+
+  /// Items entering the rect per container steady state (for a duplicate
+  /// splitter at the container input, the per-copy flow).
+  int64_t rectInputFlow(const Grid &G, int X1, int X2, int Y1) const {
+    if (Y1 == 0 && G.IsSplitJoin) {
+      const auto *SJ = cast<SplitJoin>(G.Container);
+      if (SJ->splitter().Kind == Splitter::Duplicate)
+        return flowIntoCell(G, X1, 0);
+      int64_t Sum = 0;
+      for (int X = X1; X <= X2; ++X)
+        Sum += flowIntoCell(G, X, 0);
+      return Sum;
+    }
+    int64_t Sum = 0;
+    for (int X = X1; X <= X2; ++X)
+      Sum += flowIntoCell(G, X, Y1);
+    return Sum;
+  }
+
+  /// The combined linear node of a rect, or nothing if any cell is
+  /// nonlinear or the combination exceeds the size limit.
+  std::optional<LinearNode> rectNode(const Grid &G, int X1, int X2, int Y1,
+                                     int Y2) {
+    std::vector<LinearNode> Cols;
+    for (int X = X1; X <= X2; ++X) {
+      int Bottom = std::min(
+          Y2, static_cast<int>(G.Columns[static_cast<size_t>(X)].size()) - 1);
+      std::optional<LinearNode> Col;
+      for (int Y = Y1; Y <= Bottom; ++Y) {
+        const LinearNode *N =
+            LA.nodeFor(*G.Columns[static_cast<size_t>(X)]
+                                 [static_cast<size_t>(Y)]);
+        if (!N)
+          return std::nullopt;
+        if (!Col)
+          Col = *N;
+        else
+          Col = tryCombinePipeline(*Col, *N, Opts.MaxMatrixElements);
+        if (!Col)
+          return std::nullopt;
+      }
+      Cols.push_back(std::move(*Col));
+    }
+    if (X1 == X2)
+      return Cols.front();
+
+    const auto *SJ = cast<SplitJoin>(G.Container);
+    int H = static_cast<int>(G.Columns[static_cast<size_t>(X1)].size());
+    bool FullBottom = true;
+    for (int X = X1; X <= X2; ++X)
+      FullBottom =
+          FullBottom &&
+          Y2 >= static_cast<int>(G.Columns[static_cast<size_t>(X)].size()) - 1;
+    (void)H;
+
+    // Joiner weights: original (subset) at the true bottom, interface
+    // flows otherwise.
+    std::vector<int> JoinW;
+    if (FullBottom) {
+      for (int X = X1; X <= X2; ++X)
+        JoinW.push_back(SJ->joiner().Weights[static_cast<size_t>(X)]);
+    } else {
+      std::vector<int64_t> Flows;
+      for (int X = X1; X <= X2; ++X)
+        Flows.push_back(flowOutOfCell(G, X, Y2));
+      JoinW = interfaceWeights(Flows);
+    }
+
+    if (Y1 == 0) {
+      bool Dup = SJ->splitter().Kind == Splitter::Duplicate;
+      std::vector<int> SplitW;
+      if (!Dup)
+        for (int X = X1; X <= X2; ++X)
+          SplitW.push_back(SJ->splitter().Weights[static_cast<size_t>(X)]);
+      return tryCombineSplitJoin(Cols, Dup, SplitW, JoinW,
+                                 Opts.MaxMatrixElements);
+    }
+    // Mid-cut rect: the input is the interleaved interface stream.
+    std::vector<int64_t> InFlows;
+    for (int X = X1; X <= X2; ++X)
+      InFlows.push_back(flowIntoCell(G, X, Y1));
+    std::vector<int> SplitW = interfaceWeights(InFlows);
+    return tryCombineSplitJoin(Cols, /*Duplicate=*/false, SplitW, JoinW,
+                               Opts.MaxMatrixElements);
+  }
+
+  /// Builds the splitjoin wrapper for a vertical cut at \p XPivot.
+  StreamPtr makeVerticalWrapper(const Grid &G, int X1, int XPivot, int X2,
+                                int Y1, int Y2, StreamPtr A, StreamPtr B) {
+    const auto *SJ = cast<SplitJoin>(G.Container);
+    // Splitter: duplicate stays duplicate; roundrobin gets per-part
+    // chunk weights (when Y1 == 0); mid-cut rect inputs use interface
+    // flows.
+    Splitter Split;
+    if (Y1 == 0 && SJ->splitter().Kind == Splitter::Duplicate) {
+      Split = Splitter::duplicate();
+    } else if (Y1 == 0) {
+      // Chunk per original splitter cycle (unreduced sums).
+      int64_t SumA = 0, SumB = 0;
+      for (int X = X1; X <= XPivot; ++X)
+        SumA += SJ->splitter().Weights[static_cast<size_t>(X)];
+      for (int X = XPivot + 1; X <= X2; ++X)
+        SumB += SJ->splitter().Weights[static_cast<size_t>(X)];
+      Split = Splitter::roundRobin(
+          {static_cast<int>(SumA), static_cast<int>(SumB)});
+    } else {
+      // Chunk per interface cycle (raw flow sums, unreduced).
+      int64_t SumA = 0, SumB = 0;
+      for (int X = X1; X <= XPivot; ++X)
+        SumA += flowIntoCell(G, X, Y1);
+      for (int X = XPivot + 1; X <= X2; ++X)
+        SumB += flowIntoCell(G, X, Y1);
+      Split = Splitter::roundRobin(
+          {static_cast<int>(SumA), static_cast<int>(SumB)});
+    }
+    // Joiner: one part-cycle each.
+    bool FullBottom = true;
+    for (int X = X1; X <= X2; ++X)
+      FullBottom =
+          FullBottom &&
+          Y2 >= static_cast<int>(G.Columns[static_cast<size_t>(X)].size()) - 1;
+    int64_t OutA = 0, OutB = 0;
+    if (FullBottom) {
+      for (int X = X1; X <= XPivot; ++X)
+        OutA += SJ->joiner().Weights[static_cast<size_t>(X)];
+      for (int X = XPivot + 1; X <= X2; ++X)
+        OutB += SJ->joiner().Weights[static_cast<size_t>(X)];
+    } else {
+      for (int X = X1; X <= XPivot; ++X)
+        OutA += flowOutOfCell(G, X, Y2);
+      for (int X = XPivot + 1; X <= X2; ++X)
+        OutB += flowOutOfCell(G, X, Y2);
+    }
+    auto Out = std::make_unique<SplitJoin>(
+        "vcut", Split,
+        Joiner::roundRobin({static_cast<int>(OutA), static_cast<int>(OutB)}));
+    Out->add(std::move(A));
+    Out->add(std::move(B));
+    return Out;
+  }
+
+  SelectionOptions Opts;
+  int FeedbackDepth = 0;
+  CostModel DefaultModel;
+  const CostModel &Model;
+  LinearAnalysis LA;
+  std::map<std::pair<const Stream *, int>, Config> StreamMemo;
+  std::map<RectKey, Config> RectMemo;
+  std::map<const Stream *, Grid> Grids;
+};
+
+} // namespace
+
+StreamPtr slin::selectOptimizations(const Stream &Root,
+                                    const SelectionOptions &Opts) {
+  Selector S(Root, Opts);
+  return S.run(Root);
+}

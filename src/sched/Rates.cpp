@@ -1,0 +1,247 @@
+//===- sched/Rates.cpp - Steady-state scheduling ---------------------------==//
+
+#include "sched/Rates.h"
+
+#include "support/Diag.h"
+#include "support/MathUtil.h"
+
+using namespace slin;
+
+namespace {
+
+/// Scales a vector of positive rationals to the minimal integer vector
+/// with the same ratios.
+std::vector<int64_t> toMinimalIntegers(const std::vector<Rational> &Rats) {
+  int64_t DenLcm = 1;
+  for (const Rational &R : Rats) {
+    if (R.num() <= 0)
+      fatalError("non-positive repetition count while solving rates");
+    DenLcm = lcm64(DenLcm, R.den());
+  }
+  std::vector<int64_t> Ints;
+  Ints.reserve(Rats.size());
+  int64_t NumGcd = 0;
+  for (const Rational &R : Rats) {
+    int64_t V = R.num() * (DenLcm / R.den());
+    Ints.push_back(V);
+    NumGcd = gcd64(NumGcd, V);
+  }
+  if (NumGcd > 1)
+    for (int64_t &V : Ints)
+      V /= NumGcd;
+  return Ints;
+}
+
+std::vector<int64_t> pipelineRepetitions(const Pipeline &P) {
+  const auto &Children = P.children();
+  if (Children.empty())
+    fatalError("empty pipeline '" + P.name() + "'");
+  std::vector<Rational> Reps;
+  Reps.push_back(Rational(1));
+  RateSignature Prev = computeRates(*Children.front());
+  for (size_t I = 1; I != Children.size(); ++I) {
+    RateSignature Cur = computeRates(*Children[I]);
+    if (Prev.Push == 0)
+      fatalError("pipeline '" + P.name() + "': child " +
+                 std::to_string(I - 1) + " pushes nothing but is not last");
+    if (Cur.Pop == 0)
+      fatalError("pipeline '" + P.name() + "': child " + std::to_string(I) +
+                 " pops nothing but is not first");
+    Reps.push_back(Reps.back() * Rational(Prev.Push, Cur.Pop));
+    Prev = Cur;
+  }
+  return toMinimalIntegers(Reps);
+}
+
+std::vector<int64_t> splitJoinRepetitions(const SplitJoin &SJ) {
+  const auto &Children = SJ.children();
+  size_t N = Children.size();
+  if (N == 0)
+    fatalError("empty splitjoin '" + SJ.name() + "'");
+  const Splitter &Split = SJ.splitter();
+  const Joiner &Join = SJ.joiner();
+  if (Join.Weights.size() != N)
+    fatalError("splitjoin '" + SJ.name() + "': joiner weight count mismatch");
+  if (Split.Kind == Splitter::RoundRobin && Split.Weights.size() != N)
+    fatalError("splitjoin '" + SJ.name() +
+               "': splitter weight count mismatch");
+
+  std::vector<RateSignature> Rates;
+  Rates.reserve(N);
+  for (const StreamPtr &C : Children)
+    Rates.push_back(computeRates(*C));
+
+  // Derive child repetitions from the joiner when every child produces
+  // output, otherwise from the splitter; verify the other side.
+  std::vector<Rational> Reps(N);
+  bool AllPush = true;
+  for (const RateSignature &R : Rates)
+    AllPush = AllPush && R.Push > 0;
+  if (AllPush) {
+    // r_k proportional to w_k / u_k.
+    for (size_t K = 0; K != N; ++K)
+      Reps[K] = Rational(Join.Weights[K], Rates[K].Push);
+  } else if (Split.Kind == Splitter::RoundRobin) {
+    for (size_t K = 0; K != N; ++K) {
+      if (Rates[K].Pop == 0)
+        fatalError("splitjoin '" + SJ.name() +
+                   "': child neither consumes nor produces");
+      Reps[K] = Rational(Split.Weights[K], Rates[K].Pop);
+    }
+  } else {
+    for (size_t K = 0; K != N; ++K) {
+      if (Rates[K].Pop == 0)
+        fatalError("splitjoin '" + SJ.name() +
+                   "': child neither consumes nor produces");
+      Reps[K] = Rational(1, Rates[K].Pop);
+    }
+  }
+
+  std::vector<int64_t> Ints = toMinimalIntegers(Reps);
+
+  // Consistency checks on the side not used for derivation.
+  if (Split.Kind == Splitter::Duplicate) {
+    int64_t Consumed = Rates[0].Pop * Ints[0];
+    for (size_t K = 1; K != N; ++K)
+      if (Rates[K].Pop * Ints[K] != Consumed)
+        fatalError("splitjoin '" + SJ.name() +
+                   "': duplicate children consume mismatched amounts");
+  } else {
+    Rational SplitRep(0);
+    for (size_t K = 0; K != N; ++K) {
+      if (Split.Weights[K] == 0) {
+        if (Rates[K].Pop != 0)
+          fatalError("splitjoin '" + SJ.name() +
+                     "': zero-weight child consumes input");
+        continue;
+      }
+      Rational R(Rates[K].Pop * Ints[K], Split.Weights[K]);
+      if (K == 0)
+        SplitRep = R;
+      else if (!(SplitRep == R))
+        fatalError("splitjoin '" + SJ.name() +
+                   "': roundrobin splitter rates inconsistent");
+    }
+  }
+  if (AllPush) {
+    // Joiner already used; nothing further to check.
+  } else {
+    for (size_t K = 0; K != N; ++K)
+      if ((Rates[K].Push == 0) != (Join.Weights[K] == 0))
+        fatalError("splitjoin '" + SJ.name() +
+                   "': joiner weight for non-producing child");
+  }
+  return Ints;
+}
+
+std::vector<int64_t> feedbackLoopRepetitions(const FeedbackLoop &FB) {
+  RateSignature Body = computeRates(FB.body());
+  RateSignature Loop = computeRates(FB.loop());
+  const Joiner &Join = FB.joiner();
+  const Splitter &Split = FB.splitter();
+  if (Join.Weights.size() != 2)
+    fatalError("feedbackloop '" + FB.name() + "': joiner needs two weights");
+  if (Split.Kind != Splitter::RoundRobin || Split.Weights.size() != 2)
+    fatalError("feedbackloop '" + FB.name() +
+               "': splitter must be roundrobin with two weights");
+
+  // Unknowns: body reps B, loop reps L, joiner cycles J, splitter cycles S.
+  //   o_b * B = (w0 + w1) * J      u_b * B = (s0 + s1) * S
+  //   o_l * L = s1 * S             u_l * L = w1 * J
+  Rational B(1);
+  Rational J = Rational(Body.Pop) / Rational(Join.totalWeight());
+  Rational S = Rational(Body.Push) / Rational(Split.totalWeight());
+  Rational L = Rational(Split.Weights[1]) * S / Rational(Loop.Pop);
+  if (!(Rational(Loop.Push) * L == Rational(Join.Weights[1]) * J))
+    fatalError("feedbackloop '" + FB.name() + "': inconsistent loop rates");
+  return toMinimalIntegers({B, L});
+}
+
+} // namespace
+
+std::vector<int64_t> slin::childRepetitions(const Stream &Container) {
+  switch (Container.kind()) {
+  case StreamKind::Filter:
+    return {};
+  case StreamKind::Pipeline:
+    return pipelineRepetitions(*cast<Pipeline>(&Container));
+  case StreamKind::SplitJoin:
+    return splitJoinRepetitions(*cast<SplitJoin>(&Container));
+  case StreamKind::FeedbackLoop:
+    return feedbackLoopRepetitions(*cast<FeedbackLoop>(&Container));
+  }
+  unreachable("unknown stream kind");
+}
+
+RateSignature slin::computeRates(const Stream &S) {
+  switch (S.kind()) {
+  case StreamKind::Filter: {
+    const auto *F = cast<Filter>(&S);
+    return {F->peekRate(), F->popRate(), F->pushRate()};
+  }
+  case StreamKind::Pipeline: {
+    const auto *P = cast<Pipeline>(&S);
+    std::vector<int64_t> Reps = childRepetitions(S);
+    RateSignature First = computeRates(*P->children().front());
+    RateSignature Last = computeRates(*P->children().back());
+    RateSignature R;
+    R.Pop = First.Pop * Reps.front();
+    R.Peek = R.Pop + (First.Peek - First.Pop);
+    R.Push = Last.Push * Reps.back();
+    return R;
+  }
+  case StreamKind::SplitJoin: {
+    const auto *SJ = cast<SplitJoin>(&S);
+    std::vector<int64_t> Reps = childRepetitions(S);
+    const auto &Children = SJ->children();
+    RateSignature R;
+    R.Push = 0;
+    for (size_t K = 0; K != Children.size(); ++K)
+      R.Push += computeRates(*Children[K]).Push * Reps[K];
+
+    if (SJ->splitter().Kind == Splitter::Duplicate) {
+      int64_t MaxPeek = 0;
+      int64_t Consumed = 0;
+      for (size_t K = 0; K != Children.size(); ++K) {
+        RateSignature C = computeRates(*Children[K]);
+        Consumed = C.Pop * Reps[K];
+        MaxPeek = std::max(MaxPeek, C.Pop * Reps[K] + C.Peek - C.Pop);
+      }
+      R.Pop = Consumed;
+      R.Peek = MaxPeek;
+    } else {
+      // Roundrobin: one splitter cycle distributes totalWeight items.
+      int64_t VTot = SJ->splitter().totalWeight();
+      int64_t SplitRep = 0;
+      int64_t ExtraPeek = 0;
+      for (size_t K = 0; K != Children.size(); ++K) {
+        if (SJ->splitter().Weights[K] == 0)
+          continue;
+        RateSignature C = computeRates(*Children[K]);
+        SplitRep = C.Pop * Reps[K] / SJ->splitter().Weights[K];
+        ExtraPeek = std::max(ExtraPeek, C.Peek - C.Pop);
+      }
+      R.Pop = SplitRep * VTot;
+      // Approximation: extra peeking by a child requires up to a full
+      // extra splitter cycle of lookahead per extra item window.
+      R.Peek = R.Pop + (ExtraPeek > 0 ? ExtraPeek * VTot : 0);
+    }
+    return R;
+  }
+  case StreamKind::FeedbackLoop: {
+    const auto *FB = cast<FeedbackLoop>(&S);
+    std::vector<int64_t> Reps = childRepetitions(S);
+    RateSignature Body = computeRates(FB->body());
+    int64_t JoinCycles =
+        Body.Pop * Reps[0] / FB->joiner().totalWeight();
+    int64_t SplitCycles =
+        Body.Push * Reps[0] / FB->splitter().totalWeight();
+    RateSignature R;
+    R.Pop = FB->joiner().Weights[0] * JoinCycles;
+    R.Peek = R.Pop;
+    R.Push = FB->splitter().Weights[0] * SplitCycles;
+    return R;
+  }
+  }
+  unreachable("unknown stream kind");
+}

@@ -1,0 +1,20 @@
+//===- support/Diag.cpp ---------------------------------------------------==//
+
+#include "support/Diag.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace slin;
+
+void slin::fatalError(const std::string &Message) {
+  std::fprintf(stderr, "slin fatal error: %s\n", Message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void slin::unreachable(const char *Message) {
+  std::fprintf(stderr, "slin unreachable: %s\n", Message);
+  std::fflush(stderr);
+  std::abort();
+}

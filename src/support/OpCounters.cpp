@@ -1,0 +1,15 @@
+//===- support/OpCounters.cpp ---------------------------------------------==//
+
+#include "support/OpCounters.h"
+
+namespace slin {
+namespace ops {
+namespace detail {
+thread_local bool Enabled = false;
+thread_local OpCounts Counts;
+} // namespace detail
+
+void reset() { detail::Counts = OpCounts(); }
+
+} // namespace ops
+} // namespace slin

@@ -1,0 +1,134 @@
+//===- support/OpCounters.h - Floating-point op accounting -----*- C++ -*-===//
+///
+/// \file
+/// The paper measures its optimizations in floating-point operation counts
+/// gathered by a DynamoRIO instruction-counting client over IA-32 binaries
+/// (Section 5.1, Table 5.1). Our substitute is this accounting layer: every
+/// floating-point operation *executed* by the stream runtime — whether by
+/// the work-IR interpreter, a generated linear filter, the FFT library or a
+/// matrix kernel — flows through the counted helpers below.
+///
+/// Mirroring the paper's taxonomy:
+///  * "FLOPS" are all floating-point arithmetic (Table 5.1's checked rows):
+///    adds, subtracts, multiplies, divides, compares and transcendentals.
+///  * "multiplication instructions" are the fmul/fdiv families, i.e. our
+///    Muls + Divs.
+///
+/// Counting is a thread-local toggle so timing runs can disable it; the
+/// helpers compile to a single predictable branch when disabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SUPPORT_OPCOUNTERS_H
+#define SLIN_SUPPORT_OPCOUNTERS_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace slin {
+
+/// A snapshot of executed floating-point operation counts.
+struct OpCounts {
+  uint64_t Adds = 0;
+  uint64_t Subs = 0;
+  uint64_t Muls = 0;
+  uint64_t Divs = 0;
+  uint64_t Cmps = 0;
+  uint64_t Trans = 0; ///< sin/cos/atan/sqrt/exp/log/abs/...
+
+  /// All floating point operations (the paper's "FLOPS").
+  uint64_t flops() const { return Adds + Subs + Muls + Divs + Cmps + Trans; }
+
+  /// The paper's "multiplication instructions" (fmul/fdiv families).
+  uint64_t mults() const { return Muls + Divs; }
+
+  OpCounts operator-(const OpCounts &O) const {
+    OpCounts R;
+    R.Adds = Adds - O.Adds;
+    R.Subs = Subs - O.Subs;
+    R.Muls = Muls - O.Muls;
+    R.Divs = Divs - O.Divs;
+    R.Cmps = Cmps - O.Cmps;
+    R.Trans = Trans - O.Trans;
+    return R;
+  }
+};
+
+namespace ops {
+
+namespace detail {
+extern thread_local bool Enabled;
+extern thread_local OpCounts Counts;
+} // namespace detail
+
+inline bool isCounting() { return detail::Enabled; }
+inline const OpCounts &counts() { return detail::Counts; }
+
+/// RAII scope that enables counting and restores the previous state.
+class CountingScope {
+public:
+  explicit CountingScope(bool Enable = true) : Saved(detail::Enabled) {
+    detail::Enabled = Enable;
+  }
+  ~CountingScope() { detail::Enabled = Saved; }
+  CountingScope(const CountingScope &) = delete;
+  CountingScope &operator=(const CountingScope &) = delete;
+
+private:
+  bool Saved;
+};
+
+/// Resets all counters to zero.
+void reset();
+
+inline double add(double A, double B) {
+  if (detail::Enabled)
+    ++detail::Counts.Adds;
+  return A + B;
+}
+inline double sub(double A, double B) {
+  if (detail::Enabled)
+    ++detail::Counts.Subs;
+  return A - B;
+}
+inline double mul(double A, double B) {
+  if (detail::Enabled)
+    ++detail::Counts.Muls;
+  return A * B;
+}
+inline double div(double A, double B) {
+  if (detail::Enabled)
+    ++detail::Counts.Divs;
+  return A / B;
+}
+/// Floating remainder (the FPREM family; counted with the divides).
+inline double mod(double A, double B) {
+  if (detail::Enabled)
+    ++detail::Counts.Divs;
+  return std::fmod(A, B);
+}
+inline bool cmp(bool Result) {
+  if (detail::Enabled)
+    ++detail::Counts.Cmps;
+  return Result;
+}
+/// Counts one transcendental evaluation and returns \p Result.
+inline double trans(double Result) {
+  if (detail::Enabled)
+    ++detail::Counts.Trans;
+  return Result;
+}
+
+/// Fused helper for the ubiquitous multiply-accumulate.
+inline double fma(double Acc, double A, double B) {
+  if (detail::Enabled) {
+    ++detail::Counts.Muls;
+    ++detail::Counts.Adds;
+  }
+  return Acc + A * B;
+}
+
+} // namespace ops
+} // namespace slin
+
+#endif // SLIN_SUPPORT_OPCOUNTERS_H

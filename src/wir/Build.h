@@ -1,0 +1,161 @@
+//===- wir/Build.h - Ergonomic work-IR construction ------------*- C++ -*-===//
+///
+/// \file
+/// A small builder DSL over the work IR so that benchmark filters read
+/// almost like their StreamIt sources in Appendix A. Example — the FIR
+/// work function of Figure 1-3:
+///
+/// \code
+///   using namespace slin::wir::build;
+///   WorkFunction W(N, 1, 1, stmts(
+///       assign("sum", cst(0)),
+///       loop("i", cst(0), cst(N), stmts(
+///           assign("sum", add(vr("sum"),
+///                             mul(fldAt("h", vr("i")), peek(vr("i"))))))),
+///       push(vr("sum")),
+///       popStmt()));
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_WIR_BUILD_H
+#define SLIN_WIR_BUILD_H
+
+#include "wir/IR.h"
+
+namespace slin {
+namespace wir {
+namespace build {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+inline ExprPtr cst(double V) { return std::make_unique<ConstExpr>(V); }
+inline ExprPtr vr(std::string Name) {
+  return std::make_unique<VarRefExpr>(std::move(Name));
+}
+inline ExprPtr arrAt(std::string Name, ExprPtr Index) {
+  return std::make_unique<ArrayRefExpr>(std::move(Name), std::move(Index));
+}
+inline ExprPtr fld(std::string Name) {
+  return std::make_unique<FieldRefExpr>(std::move(Name), nullptr);
+}
+inline ExprPtr fldAt(std::string Name, ExprPtr Index) {
+  return std::make_unique<FieldRefExpr>(std::move(Name), std::move(Index));
+}
+inline ExprPtr peek(ExprPtr Index) {
+  return std::make_unique<PeekExpr>(std::move(Index));
+}
+inline ExprPtr peek(int Index) { return peek(cst(Index)); }
+inline ExprPtr pop() { return std::make_unique<PopExpr>(); }
+
+inline ExprPtr bin(BinOp Op, ExprPtr L, ExprPtr R) {
+  return std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R));
+}
+inline ExprPtr add(ExprPtr L, ExprPtr R) {
+  return bin(BinOp::Add, std::move(L), std::move(R));
+}
+inline ExprPtr sub(ExprPtr L, ExprPtr R) {
+  return bin(BinOp::Sub, std::move(L), std::move(R));
+}
+inline ExprPtr mul(ExprPtr L, ExprPtr R) {
+  return bin(BinOp::Mul, std::move(L), std::move(R));
+}
+inline ExprPtr div(ExprPtr L, ExprPtr R) {
+  return bin(BinOp::Div, std::move(L), std::move(R));
+}
+inline ExprPtr mod(ExprPtr L, ExprPtr R) {
+  return bin(BinOp::Mod, std::move(L), std::move(R));
+}
+inline ExprPtr lt(ExprPtr L, ExprPtr R) {
+  return bin(BinOp::Lt, std::move(L), std::move(R));
+}
+inline ExprPtr le(ExprPtr L, ExprPtr R) {
+  return bin(BinOp::Le, std::move(L), std::move(R));
+}
+inline ExprPtr gt(ExprPtr L, ExprPtr R) {
+  return bin(BinOp::Gt, std::move(L), std::move(R));
+}
+inline ExprPtr ge(ExprPtr L, ExprPtr R) {
+  return bin(BinOp::Ge, std::move(L), std::move(R));
+}
+inline ExprPtr eq(ExprPtr L, ExprPtr R) {
+  return bin(BinOp::Eq, std::move(L), std::move(R));
+}
+inline ExprPtr ne(ExprPtr L, ExprPtr R) {
+  return bin(BinOp::Ne, std::move(L), std::move(R));
+}
+inline ExprPtr neg(ExprPtr E) {
+  return std::make_unique<UnaryExpr>(UnOp::Neg, std::move(E));
+}
+inline ExprPtr call(Intrinsic Fn, ExprPtr Arg) {
+  return std::make_unique<CallExpr>(Fn, std::move(Arg));
+}
+inline ExprPtr sinE(ExprPtr A) { return call(Intrinsic::Sin, std::move(A)); }
+inline ExprPtr cosE(ExprPtr A) { return call(Intrinsic::Cos, std::move(A)); }
+inline ExprPtr atanE(ExprPtr A) { return call(Intrinsic::Atan, std::move(A)); }
+inline ExprPtr sqrtE(ExprPtr A) { return call(Intrinsic::Sqrt, std::move(A)); }
+inline ExprPtr absE(ExprPtr A) { return call(Intrinsic::Abs, std::move(A)); }
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Variadic statement-list constructor (StmtList is move-only, so a plain
+/// initializer list cannot be used).
+inline void appendStmts(StmtList &) {}
+template <typename... Rest>
+void appendStmts(StmtList &Out, StmtPtr First, Rest... Tail) {
+  Out.push_back(std::move(First));
+  appendStmts(Out, std::move(Tail)...);
+}
+template <typename... Args> StmtList stmts(Args... List) {
+  StmtList Out;
+  appendStmts(Out, std::move(List)...);
+  return Out;
+}
+
+inline StmtPtr assign(std::string Name, ExprPtr Value) {
+  return std::make_unique<AssignStmt>(std::move(Name), std::move(Value));
+}
+inline StmtPtr arrAssign(std::string Name, ExprPtr Index, ExprPtr Value) {
+  return std::make_unique<ArrayAssignStmt>(std::move(Name), std::move(Index),
+                                           std::move(Value));
+}
+inline StmtPtr fldAssign(std::string Name, ExprPtr Value) {
+  return std::make_unique<FieldAssignStmt>(std::move(Name), nullptr,
+                                           std::move(Value));
+}
+inline StmtPtr fldArrAssign(std::string Name, ExprPtr Index, ExprPtr Value) {
+  return std::make_unique<FieldAssignStmt>(std::move(Name), std::move(Index),
+                                           std::move(Value));
+}
+inline StmtPtr localArray(std::string Name, int Size) {
+  return std::make_unique<LocalArrayStmt>(std::move(Name), Size);
+}
+inline StmtPtr push(ExprPtr Value) {
+  return std::make_unique<PushStmt>(std::move(Value));
+}
+inline StmtPtr popStmt() { return std::make_unique<PopDiscardStmt>(); }
+inline StmtPtr loop(std::string Var, ExprPtr Begin, ExprPtr End,
+                    StmtList Body) {
+  return std::make_unique<ForStmt>(std::move(Var), std::move(Begin),
+                                   std::move(End), std::move(Body));
+}
+inline StmtPtr ifStmt(ExprPtr Cond, StmtList Then, StmtList Else = {}) {
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else));
+}
+inline StmtPtr printStmt(ExprPtr Value) {
+  return std::make_unique<PrintStmt>(std::move(Value));
+}
+inline StmtPtr uncounted(StmtList Body) {
+  return std::make_unique<UncountedStmt>(std::move(Body));
+}
+
+} // namespace build
+} // namespace wir
+} // namespace slin
+
+#endif // SLIN_WIR_BUILD_H

@@ -1,0 +1,45 @@
+//===- wir/Interp.h - Work-IR interpreter -----------------------*- C++ -*-===//
+///
+/// \file
+/// Tree-walking interpreter for work functions — the execution engine of
+/// the "uniprocessor backend" substitute. Every floating-point operation
+/// is routed through the op counters so that a run reports the same FLOP
+/// totals the paper gathered with its DynamoRIO client.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_WIR_INTERP_H
+#define SLIN_WIR_INTERP_H
+
+#include "wir/IR.h"
+#include "wir/Tape.h"
+
+namespace slin {
+namespace wir {
+
+/// Per-filter-instance storage of field values (mutable fields persist
+/// across firings; const fields are included for uniform access).
+struct FieldStore {
+  FieldStore() = default;
+  explicit FieldStore(const std::vector<FieldDef> &Fields) {
+    Values.reserve(Fields.size());
+    for (const FieldDef &F : Fields)
+      Values.push_back(F.Init);
+  }
+
+  std::vector<std::vector<double>> Values;
+};
+
+/// Executes one firing of \p Work against \p T. Resolves \p Work on first
+/// use. \p State must have been constructed from the same field list.
+void interpret(const WorkFunction &Work, const std::vector<FieldDef> &Fields,
+               FieldStore &State, Tape &T);
+
+/// Evaluates \p Fn on \p Arg (used by both the interpreter and the
+/// extraction analysis when folding intrinsic calls on constants).
+double evalIntrinsic(Intrinsic Fn, double Arg);
+
+} // namespace wir
+} // namespace slin
+
+#endif // SLIN_WIR_INTERP_H

@@ -1,0 +1,71 @@
+//===- wir/Tape.h - Abstract input/output tape ------------------*- C++ -*-===//
+///
+/// \file
+/// The tape interface a firing filter sees: FIFO peek/pop on the input
+/// channel and push on the output channel (Section 2.1). Concrete tapes
+/// are provided by the executor; tests use simple vector-backed tapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_WIR_TAPE_H
+#define SLIN_WIR_TAPE_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace slin {
+namespace wir {
+
+class Tape {
+public:
+  virtual ~Tape();
+
+  /// Returns the value at position \p Index on the input tape without
+  /// consuming it; Index 0 is the next item to be popped.
+  virtual double peek(int Index) = 0;
+
+  /// Consumes and returns the next input item.
+  virtual double pop() = 0;
+
+  /// Appends \p Value to the output tape.
+  virtual void push(double Value) = 0;
+
+  /// Receives values printed by the filter; the executor routes these to
+  /// the program sink. The default implementation discards them.
+  virtual void print(double Value);
+};
+
+/// A vector-backed tape for tests and for one-shot filter evaluation:
+/// reads from a fixed input buffer, collects pushes and prints.
+class VectorTape : public Tape {
+public:
+  explicit VectorTape(std::vector<double> Input) : Input(std::move(Input)) {}
+
+  double peek(int Index) override {
+    assert(Index >= 0 && Pos + static_cast<size_t>(Index) < Input.size() &&
+           "peek out of range");
+    return Input[Pos + static_cast<size_t>(Index)];
+  }
+  double pop() override {
+    assert(Pos < Input.size() && "pop past end of input");
+    return Input[Pos++];
+  }
+  void push(double Value) override { Output.push_back(Value); }
+  void print(double Value) override { Printed.push_back(Value); }
+
+  /// Number of items consumed so far.
+  size_t consumed() const { return Pos; }
+
+  std::vector<double> Input;
+  std::vector<double> Output;
+  std::vector<double> Printed;
+
+private:
+  size_t Pos = 0;
+};
+
+} // namespace wir
+} // namespace slin
+
+#endif // SLIN_WIR_TAPE_H

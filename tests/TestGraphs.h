@@ -1,0 +1,110 @@
+//===- tests/TestGraphs.h - Small stream factories for tests ---*- C++ -*-===//
+//
+// Tiny filters mirroring Appendix A building blocks, used across the test
+// suite. The full benchmark applications live in src/apps/.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_TESTS_TESTGRAPHS_H
+#define SLIN_TESTS_TESTGRAPHS_H
+
+#include "graph/Stream.h"
+#include "wir/Build.h"
+
+#include <memory>
+#include <vector>
+
+namespace slin {
+namespace testing_helpers {
+
+using namespace slin::wir;
+using namespace slin::wir::build;
+
+/// FloatSource: pushes 0, 1, 2, ... (stateful, nonlinear).
+inline std::unique_ptr<Filter> makeCountingSource() {
+  std::vector<FieldDef> Fields = {FieldDef::mutableScalar("x", 0)};
+  WorkFunction W(0, 0, 1,
+                 stmts(push(fld("x")), fldAssign("x", add(fld("x"), cst(1)))));
+  return std::make_unique<Filter>("FloatSource", std::move(Fields),
+                                  std::move(W));
+}
+
+/// FloatPrinter: prints and discards one item per firing.
+inline std::unique_ptr<Filter> makePrinterSink() {
+  WorkFunction W(1, 1, 0, stmts(printStmt(pop())));
+  return std::make_unique<Filter>("FloatPrinter", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+/// FIR filter with explicit coefficients h (peek N pop 1 push 1),
+/// convolution-sum form of Figure 1-3: sum += h[i] * peek(i).
+inline std::unique_ptr<Filter> makeFIR(std::vector<double> H,
+                                       const std::string &Name = "FIR") {
+  int N = static_cast<int>(H.size());
+  std::vector<FieldDef> Fields = {FieldDef::constArray("h", std::move(H))};
+  WorkFunction W(
+      N, 1, 1,
+      stmts(assign("sum", cst(0)),
+            loop("i", cst(0), cst(N),
+                 stmts(assign("sum", add(vr("sum"), mul(fldAt("h", vr("i")),
+                                                        peek(vr("i"))))))),
+            push(vr("sum")), popStmt()));
+  return std::make_unique<Filter>(Name, std::move(Fields), std::move(W));
+}
+
+/// Gain filter: push(g * pop()).
+inline std::unique_ptr<Filter> makeGain(double G,
+                                        const std::string &Name = "Gain") {
+  WorkFunction W(1, 1, 1, stmts(push(mul(cst(G), pop()))));
+  return std::make_unique<Filter>(Name, std::vector<FieldDef>{}, std::move(W));
+}
+
+/// Compressor(M): keeps the first of every M items (Figure A-4).
+inline std::unique_ptr<Filter> makeCompressor(int M) {
+  WorkFunction W(M, M, 1,
+                 stmts(push(pop()),
+                       loop("i", cst(0), cst(M - 1), stmts(popStmt()))));
+  return std::make_unique<Filter>("Compressor", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+/// Expander(L): emits each input followed by L-1 zeros (Figure A-5).
+inline std::unique_ptr<Filter> makeExpander(int L) {
+  WorkFunction W(1, 1, L,
+                 stmts(push(pop()),
+                       loop("i", cst(0), cst(L - 1), stmts(push(cst(0))))));
+  return std::make_unique<Filter>("Expander", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+/// Adder(N): pops N items and pushes their sum (FilterBank's combiner).
+inline std::unique_ptr<Filter> makeAdder(int N) {
+  WorkFunction W(N, N, 1,
+                 stmts(assign("sum", cst(0)),
+                       loop("i", cst(0), cst(N),
+                            stmts(assign("sum", add(vr("sum"), pop())))),
+                       push(vr("sum"))));
+  return std::make_unique<Filter>("Adder", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+/// Identity filter.
+inline std::unique_ptr<Filter> makeIdentity(const std::string &Name = "Id") {
+  WorkFunction W(1, 1, 1, stmts(push(pop())));
+  return std::make_unique<Filter>(Name, std::vector<FieldDef>{}, std::move(W));
+}
+
+/// Pops [a, b], pushes [a+b, a-b]; the body of a balanced feedback loop.
+inline std::unique_ptr<Filter> makeSumDiffFilter() {
+  WorkFunction W(2, 2, 2,
+                 stmts(assign("a", pop()), assign("b", pop()),
+                       push(add(vr("a"), vr("b"))),
+                       push(sub(vr("a"), vr("b")))));
+  return std::make_unique<Filter>("SumDiff", std::vector<FieldDef>{},
+                                  std::move(W));
+}
+
+} // namespace testing_helpers
+} // namespace slin
+
+#endif // SLIN_TESTS_TESTGRAPHS_H

@@ -1,0 +1,69 @@
+//===- tests/apps_test.cpp - Benchmark application tests ------------------==//
+
+#include "apps/Benchmarks.h"
+#include "exec/Measure.h"
+#include "linear/Analysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace slin;
+using namespace slin::apps;
+
+namespace {
+
+TEST(Apps, AllBenchmarksBuildAndRun) {
+  for (const BenchmarkEntry &B : allBenchmarks()) {
+    StreamPtr S = B.Build();
+    ASSERT_NE(S, nullptr) << B.Name;
+    auto Out = collectOutputs(*S, 8);
+    EXPECT_EQ(Out.size(), 8u) << B.Name;
+  }
+}
+
+TEST(Apps, LinearityCountsMatchExpectations) {
+  // Reproduces the flavor of Table 5.2's "(linear)" columns.
+  struct Expect {
+    const char *Name;
+    int Filters;
+    int LinearFilters;
+  };
+  // Counts for OUR versions of the benchmarks (recorded in
+  // EXPERIMENTS.md against the paper's Table 5.2).
+  for (const BenchmarkEntry &B : allBenchmarks()) {
+    StreamPtr S = B.Build();
+    LinearAnalysis LA(*S);
+    auto St = LA.stats();
+    EXPECT_GT(St.LinearFilters, 0) << B.Name;
+    EXPECT_LT(St.LinearFilters, St.Filters)
+        << B.Name << ": sources/sinks are nonlinear";
+  }
+}
+
+TEST(Apps, FIRStatsMatchTable52) {
+  StreamPtr S = buildFIR();
+  LinearAnalysis LA(*S);
+  auto St = LA.stats();
+  EXPECT_EQ(St.Filters, 3);
+  EXPECT_EQ(St.LinearFilters, 1);
+  EXPECT_EQ(St.Pipelines, 1);
+  EXPECT_DOUBLE_EQ(St.AvgVectorSize, 256);
+}
+
+TEST(Apps, OversamplerStatsMatchTable52) {
+  StreamPtr S = buildOversampler();
+  LinearAnalysis LA(*S);
+  auto St = LA.stats();
+  EXPECT_EQ(St.Filters, 10);
+  EXPECT_EQ(St.LinearFilters, 8);
+}
+
+TEST(Apps, VocoderAndRadarHaveNonlinearKernels) {
+  StreamPtr V = buildVocoder();
+  LinearAnalysis LAV(*V);
+  EXPECT_EQ(LAV.nodeFor(*V), nullptr);
+  StreamPtr R = buildRadar();
+  LinearAnalysis LAR(*R);
+  EXPECT_EQ(LAR.nodeFor(*R), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+//===- tests/equivalence_test.cpp - Cross-configuration equivalence -------==//
+//
+// The master integration property of the whole system: every optimization
+// configuration of every benchmark must produce the same output stream as
+// the unoptimized program (frequency replacement up to FP round-off).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Benchmarks.h"
+#include "exec/Measure.h"
+#include "opt/Optimizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace slin;
+using namespace slin::apps;
+
+namespace {
+
+struct Case {
+  std::string Benchmark;
+  OptMode Mode;
+  bool Combine;
+};
+
+std::string caseName(const ::testing::TestParamInfo<Case> &Info) {
+  const Case &C = Info.param;
+  std::string Mode;
+  switch (C.Mode) {
+  case OptMode::Linear: Mode = "linear"; break;
+  case OptMode::Freq: Mode = "freq"; break;
+  case OptMode::Redundancy: Mode = "redund"; break;
+  case OptMode::AutoSel: Mode = "autosel"; break;
+  case OptMode::Base: Mode = "base"; break;
+  }
+  return C.Benchmark + "_" + Mode + (C.Combine ? "" : "_nc");
+}
+
+class BenchmarkEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BenchmarkEquivalence, OutputsMatchBaseline) {
+  const Case &C = GetParam();
+  StreamPtr Base;
+  for (const BenchmarkEntry &B : allBenchmarks())
+    if (B.Name == C.Benchmark)
+      Base = B.Build();
+  ASSERT_NE(Base, nullptr);
+
+  OptimizerOptions O;
+  O.Mode = C.Mode;
+  O.Combine = C.Combine;
+  StreamPtr Opt = optimize(*Base, O);
+
+  size_t N = 48;
+  auto Expect = collectOutputs(*Base, N);
+  auto Got = collectOutputs(*Opt, N);
+  ASSERT_EQ(Expect.size(), Got.size());
+  double Tol = C.Mode == OptMode::Freq || C.Mode == OptMode::AutoSel
+                   ? 1e-5
+                   : 1e-8;
+  for (size_t I = 0; I != N; ++I)
+    ASSERT_NEAR(Got[I], Expect[I], Tol) << "output " << I;
+}
+
+std::vector<Case> makeCases() {
+  std::vector<Case> Cases;
+  for (const BenchmarkEntry &B : allBenchmarks()) {
+    Cases.push_back({B.Name, OptMode::Linear, true});
+    Cases.push_back({B.Name, OptMode::Linear, false});
+    Cases.push_back({B.Name, OptMode::Freq, true});
+    Cases.push_back({B.Name, OptMode::Freq, false});
+    Cases.push_back({B.Name, OptMode::Redundancy, true});
+    Cases.push_back({B.Name, OptMode::AutoSel, true});
+  }
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkEquivalence,
+                         ::testing::ValuesIn(makeCases()), caseName);
+
+} // namespace

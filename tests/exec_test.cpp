@@ -1,0 +1,203 @@
+//===- tests/exec_test.cpp - Executor and scheduler tests -----------------==//
+
+#include "exec/Measure.h"
+#include "sched/Rates.h"
+#include "TestGraphs.h"
+
+#include <gtest/gtest.h>
+
+using namespace slin;
+using namespace slin::testing_helpers;
+
+namespace {
+
+TEST(Sched, FilterRates) {
+  auto F = makeFIR({1, 2, 3});
+  RateSignature R = computeRates(*F);
+  EXPECT_EQ(R.Peek, 3);
+  EXPECT_EQ(R.Pop, 1);
+  EXPECT_EQ(R.Push, 1);
+}
+
+TEST(Sched, PipelineRepetitions) {
+  // Expander(2) then Compressor(3): reps must balance 2*r1 = 3*r2.
+  Pipeline P("p");
+  P.add(makeExpander(2));
+  P.add(makeCompressor(3));
+  auto Reps = childRepetitions(P);
+  EXPECT_EQ(Reps, (std::vector<int64_t>{3, 2}));
+  RateSignature R = computeRates(P);
+  EXPECT_EQ(R.Pop, 3);
+  EXPECT_EQ(R.Push, 2);
+}
+
+TEST(Sched, PipelinePeekCarriesExtra) {
+  Pipeline P("p");
+  P.add(makeFIR({1, 2, 3, 4})); // peek 4 pop 1
+  P.add(makeCompressor(2));
+  auto Reps = childRepetitions(P);
+  EXPECT_EQ(Reps, (std::vector<int64_t>{2, 1}));
+  RateSignature R = computeRates(P);
+  EXPECT_EQ(R.Pop, 2);
+  EXPECT_EQ(R.Peek, 2 + 3); // extra lookahead of the FIR
+  EXPECT_EQ(R.Push, 1);
+}
+
+TEST(Sched, SplitJoinDuplicate) {
+  // Figure 3-6's topology: children pushing 4 and 1, joiner (2, 1).
+  SplitJoin SJ("sj", Splitter::duplicate(), Joiner::roundRobin({2, 1}));
+  // Child 0: pop 2 push 4; child 1: pop 1 push 1.
+  {
+    using namespace slin::wir;
+    using namespace slin::wir::build;
+    WorkFunction W0(2, 2, 4, stmts(push(peek(0)), push(peek(0)), push(peek(1)),
+                                   push(peek(1)), popStmt(), popStmt()));
+    SJ.add(std::make_unique<Filter>("c0", std::vector<FieldDef>{},
+                                    std::move(W0)));
+    WorkFunction W1(1, 1, 1, stmts(push(pop())));
+    SJ.add(std::make_unique<Filter>("c1", std::vector<FieldDef>{},
+                                    std::move(W1)));
+  }
+  auto Reps = childRepetitions(SJ);
+  // joinRep = lcm(lcm(4,2)/2, lcm(1,1)/1) = lcm(2,1) = 2;
+  // rep0 = 2*2/4 = 1, rep1 = 1*2/1 = 2.
+  EXPECT_EQ(Reps, (std::vector<int64_t>{1, 2}));
+  RateSignature R = computeRates(SJ);
+  EXPECT_EQ(R.Pop, 2);
+  EXPECT_EQ(R.Push, 6);
+}
+
+TEST(Sched, FeedbackLoopRates) {
+  auto FB = std::make_unique<FeedbackLoop>(
+      "fb", Joiner::roundRobin({1, 1}), makeSumDiffFilter(), makeIdentity(),
+      Splitter::roundRobin({1, 1}), std::vector<double>{0});
+  auto Reps = childRepetitions(*FB);
+  EXPECT_EQ(Reps, (std::vector<int64_t>{1, 1}));
+  RateSignature R = computeRates(*FB);
+  EXPECT_EQ(R.Pop, 1);
+  EXPECT_EQ(R.Push, 1);
+}
+
+TEST(SchedDeath, UnbalancedFeedbackLoopIsFatal) {
+  // Adder(2) pushes one item per firing but the splitter must send one
+  // item per cycle to the loop AND one downstream: inconsistent.
+  auto FB = std::make_unique<FeedbackLoop>(
+      "fb", Joiner::roundRobin({1, 1}), makeAdder(2), makeIdentity(),
+      Splitter::roundRobin({1, 1}), std::vector<double>{0});
+  EXPECT_DEATH(childRepetitions(*FB), "inconsistent loop rates");
+}
+
+TEST(Exec, SourceFIRSink) {
+  Pipeline P("FIRProgram");
+  P.add(makeCountingSource());
+  P.add(makeFIR({1, 2, 3}));
+  P.add(makePrinterSink());
+
+  Executor E(P);
+  E.run(4);
+  ASSERT_GE(E.printed().size(), 4u);
+  // Input 0,1,2,3,...; out[k] = 1*k + 2*(k+1) + 3*(k+2) = 6k + 8.
+  for (int K = 0; K != 4; ++K)
+    EXPECT_DOUBLE_EQ(E.printed()[K], 6.0 * K + 8.0);
+}
+
+TEST(Exec, ExternalInputAndOutput) {
+  auto F = makeFIR({2, 5});
+  Executor E(*F);
+  E.provideInput({1, 2, 3, 4});
+  E.run(3);
+  auto Out = E.outputSnapshot();
+  ASSERT_GE(Out.size(), 3u);
+  EXPECT_DOUBLE_EQ(Out[0], 2 * 1 + 5 * 2);
+  EXPECT_DOUBLE_EQ(Out[1], 2 * 2 + 5 * 3);
+  EXPECT_DOUBLE_EQ(Out[2], 2 * 3 + 5 * 4);
+}
+
+TEST(Exec, DuplicateSplitJoinInterleaving) {
+  SplitJoin SJ("sj", Splitter::duplicate(), Joiner::roundRobin({1, 1}));
+  SJ.add(makeGain(10, "g10"));
+  SJ.add(makeGain(100, "g100"));
+  Executor E(SJ);
+  E.provideInput({1, 2, 3});
+  E.run(6);
+  EXPECT_EQ(E.outputSnapshot(),
+            (std::vector<double>{10, 100, 20, 200, 30, 300}));
+}
+
+TEST(Exec, RoundRobinSplitJoin) {
+  // roundrobin(2,1) split, gains, roundrobin(2,1) join: reorders nothing.
+  SplitJoin SJ("sj", Splitter::roundRobin({2, 1}),
+               Joiner::roundRobin({2, 1}));
+  SJ.add(makeGain(1, "id"));
+  SJ.add(makeGain(-1, "neg"));
+  Executor E(SJ);
+  E.provideInput({1, 2, 3, 4, 5, 6});
+  E.run(6);
+  EXPECT_EQ(E.outputSnapshot(), (std::vector<double>{1, 2, -3, 4, 5, -6}));
+}
+
+TEST(Exec, FeedbackLoopSumDiff) {
+  // Joiner interleaves [x_i, fb_i]; body pushes sum then difference; the
+  // splitter routes sums downstream and differences around the loop.
+  auto FB = std::make_unique<FeedbackLoop>(
+      "fb", Joiner::roundRobin({1, 1}), makeSumDiffFilter(), makeIdentity(),
+      Splitter::roundRobin({1, 1}), std::vector<double>{0});
+  Executor E(*FB);
+  E.provideInput({1, 2, 3});
+  E.run(3);
+  auto Out = E.outputSnapshot();
+  ASSERT_GE(Out.size(), 3u);
+  EXPECT_DOUBLE_EQ(Out[0], 1);         // 1 + enqueued 0
+  EXPECT_DOUBLE_EQ(Out[1], 2 + 1);     // fb = 1 - 0
+  EXPECT_DOUBLE_EQ(Out[2], 3 + (2 - 1));
+}
+
+TEST(Exec, InitWorkDifferentRates) {
+  using namespace slin::wir;
+  using namespace slin::wir::build;
+  // initWork consumes 3 and pushes their sum; work then echoes items.
+  auto F = std::make_unique<Filter>(
+      "init", std::vector<FieldDef>{},
+      WorkFunction(1, 1, 1, stmts(push(pop()))));
+  F->setInitWork(WorkFunction(
+      3, 3, 1, stmts(push(add(add(pop(), pop()), pop())))));
+  Executor E(*F);
+  E.provideInput({1, 2, 3, 4, 5});
+  E.run(3);
+  EXPECT_EQ(E.outputSnapshot(), (std::vector<double>{6, 4, 5}));
+}
+
+TEST(Exec, DeadlockIsFatal) {
+  // A filter that needs more input than ever arrives.
+  auto F = makeFIR({1, 1, 1, 1});
+  Executor E(*F);
+  E.provideInput({1, 2});
+  EXPECT_DEATH(E.run(1), "deadlock");
+}
+
+TEST(Measure, FIRFlopsPerOutput) {
+  Pipeline P("FIRProgram");
+  P.add(makeCountingSource());
+  P.add(makeFIR({1, 2, 3, 4, 5, 6, 7, 8}));
+  P.add(makePrinterSink());
+  MeasureOptions Opts;
+  Opts.WarmupOutputs = 64;
+  Opts.MeasureOutputs = 2048;
+  Opts.MeasureTime = false;
+  Opts.Exec.BatchLimit = 8; // keep in-flight noise small
+  Measurement M = measureSteadyState(P, Opts);
+  // Per output: 8 muls + 8 adds in the FIR, 1 add in the source.
+  EXPECT_NEAR(M.multsPerOutput(), 8.0, 0.4);
+  EXPECT_NEAR(M.flopsPerOutput(), 17.0, 0.9);
+}
+
+TEST(Measure, CollectOutputsMatchesManual) {
+  Pipeline P("p");
+  P.add(makeCountingSource());
+  P.add(makeGain(3));
+  P.add(makePrinterSink());
+  auto Out = collectOutputs(P, 5);
+  EXPECT_EQ(Out, (std::vector<double>{0, 3, 6, 9, 12}));
+}
+
+} // namespace

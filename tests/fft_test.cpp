@@ -1,0 +1,181 @@
+//===- tests/fft_test.cpp - FFT library unit tests ------------------------==//
+
+#include "fft/FFT.h"
+#include "support/OpCounters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace slin;
+using namespace slin::fft;
+
+namespace {
+
+std::vector<Complex> randomComplex(size_t N, unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_real_distribution<double> Dist(-1.0, 1.0);
+  std::vector<Complex> V(N);
+  for (Complex &C : V)
+    C = Complex(Dist(Rng), Dist(Rng));
+  return V;
+}
+
+std::vector<double> randomReal(size_t N, unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_real_distribution<double> Dist(-1.0, 1.0);
+  std::vector<double> V(N);
+  for (double &D : V)
+    D = Dist(Rng);
+  return V;
+}
+
+double maxDiff(const std::vector<Complex> &A, const std::vector<Complex> &B) {
+  double M = 0;
+  for (size_t I = 0; I != A.size(); ++I)
+    M = std::max(M, std::abs(A[I] - B[I]));
+  return M;
+}
+
+TEST(FFT, PowerOfTwoHelpers) {
+  EXPECT_EQ(nextPowerOfTwo(1), 1u);
+  EXPECT_EQ(nextPowerOfTwo(2), 2u);
+  EXPECT_EQ(nextPowerOfTwo(3), 4u);
+  EXPECT_EQ(nextPowerOfTwo(511), 512u);
+  EXPECT_EQ(nextPowerOfTwo(512), 512u);
+  EXPECT_TRUE(isPowerOfTwo(1));
+  EXPECT_TRUE(isPowerOfTwo(64));
+  EXPECT_FALSE(isPowerOfTwo(0));
+  EXPECT_FALSE(isPowerOfTwo(48));
+}
+
+class FFTSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FFTSizes, PlannedMatchesSlowDFT) {
+  size_t N = GetParam();
+  auto In = randomComplex(N, 42 + static_cast<unsigned>(N));
+  auto Expect = slowDFT(In, false);
+  auto Data = In;
+  FFTPlan Plan(N);
+  Plan.forward(Data.data());
+  EXPECT_LT(maxDiff(Data, Expect), 1e-9) << "N=" << N;
+}
+
+TEST_P(FFTSizes, PlannedRoundTrip) {
+  size_t N = GetParam();
+  auto In = randomComplex(N, 7 + static_cast<unsigned>(N));
+  auto Data = In;
+  FFTPlan Plan(N);
+  Plan.forward(Data.data());
+  Plan.inverse(Data.data());
+  EXPECT_LT(maxDiff(Data, In), 1e-9) << "N=" << N;
+}
+
+TEST_P(FFTSizes, SimpleMatchesSlowDFT) {
+  size_t N = GetParam();
+  auto In = randomComplex(N, 3 + static_cast<unsigned>(N));
+  auto Expect = slowDFT(In, false);
+  auto Data = In;
+  simpleFFT(Data, false);
+  EXPECT_LT(maxDiff(Data, Expect), 1e-9) << "N=" << N;
+}
+
+TEST_P(FFTSizes, RealForwardMatchesComplex) {
+  size_t N = GetParam();
+  auto In = randomReal(N, 5 + static_cast<unsigned>(N));
+  std::vector<Complex> CIn(N);
+  for (size_t I = 0; I != N; ++I)
+    CIn[I] = Complex(In[I], 0.0);
+  auto Expect = slowDFT(CIn, false);
+
+  FFTPlan Plan(N);
+  std::vector<double> HC(N);
+  Plan.forwardReal(In.data(), HC.data());
+
+  EXPECT_NEAR(HC[0], Expect[0].real(), 1e-9);
+  if (N > 1) {
+    EXPECT_NEAR(HC[N / 2], Expect[N / 2].real(), 1e-9);
+  }
+  for (size_t K = 1; K < N / 2; ++K) {
+    EXPECT_NEAR(HC[K], Expect[K].real(), 1e-9) << "N=" << N << " K=" << K;
+    EXPECT_NEAR(HC[N - K], Expect[K].imag(), 1e-9) << "N=" << N << " K=" << K;
+  }
+}
+
+TEST_P(FFTSizes, RealRoundTrip) {
+  size_t N = GetParam();
+  auto In = randomReal(N, 9 + static_cast<unsigned>(N));
+  FFTPlan Plan(N);
+  std::vector<double> HC(N), Out(N);
+  Plan.forwardReal(In.data(), HC.data());
+  Plan.inverseReal(HC.data(), Out.data());
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_NEAR(Out[I], In[I], 1e-9) << "N=" << N << " I=" << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FFTSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256));
+
+TEST(FFT, ConvolutionViaHalfComplex) {
+  // The exact computation pattern of Transformation 5: zero-padded real
+  // FFTs, half-complex pointwise product, inverse real FFT.
+  std::vector<double> H = {1, 2, 3};
+  std::vector<double> X = {4, 5, 6, 7, 8};
+  auto Expect = directConvolve(X, H);
+
+  size_t N = nextPowerOfTwo(X.size() + H.size() - 1);
+  FFTPlan Plan(N);
+  std::vector<double> HP(N, 0.0), XP(N, 0.0);
+  std::copy(H.begin(), H.end(), HP.begin());
+  std::copy(X.begin(), X.end(), XP.begin());
+  std::vector<double> HF(N), XF(N), YF(N), Y(N);
+  Plan.forwardReal(HP.data(), HF.data());
+  Plan.forwardReal(XP.data(), XF.data());
+  multiplyHalfComplex(N, XF.data(), HF.data(), YF.data());
+  Plan.inverseReal(YF.data(), Y.data());
+  for (size_t I = 0; I != Expect.size(); ++I)
+    EXPECT_NEAR(Y[I], Expect[I], 1e-9) << "I=" << I;
+}
+
+TEST(FFT, RealPathIsCheaperThanComplexPath) {
+  // The "FFTW tier" (planned real path) must beat the "simple tier"
+  // (recursive complex FFT) in multiplication count — this gap is what
+  // Figure 5-12(d) vs (b) measures.
+  size_t N = 256;
+  auto In = randomReal(N, 21);
+  FFTPlan Plan(N);
+  std::vector<double> HC(N);
+
+  ops::CountingScope Scope;
+  ops::reset();
+  Plan.forwardReal(In.data(), HC.data());
+  uint64_t RealMuls = ops::counts().mults();
+
+  std::vector<Complex> CIn(N);
+  for (size_t I = 0; I != N; ++I)
+    CIn[I] = Complex(In[I], 0.0);
+  ops::reset();
+  simpleFFT(CIn, false);
+  uint64_t SimpleMuls = ops::counts().mults();
+
+  EXPECT_LT(RealMuls, SimpleMuls);
+  EXPECT_LT(RealMuls * 3, SimpleMuls * 2) << "expected >1.5x savings";
+}
+
+TEST(FFT, ParsevalEnergyConservation) {
+  size_t N = 128;
+  auto In = randomReal(N, 33);
+  FFTPlan Plan(N);
+  std::vector<double> HC(N);
+  Plan.forwardReal(In.data(), HC.data());
+  double TimeEnergy = 0;
+  for (double D : In)
+    TimeEnergy += D * D;
+  double FreqEnergy = HC[0] * HC[0] + HC[N / 2] * HC[N / 2];
+  for (size_t K = 1; K < N / 2; ++K)
+    FreqEnergy += 2 * (HC[K] * HC[K] + HC[N - K] * HC[N - K]);
+  EXPECT_NEAR(TimeEnergy, FreqEnergy / N, 1e-6);
+}
+
+} // namespace

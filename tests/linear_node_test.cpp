@@ -1,0 +1,287 @@
+//===- tests/linear_node_test.cpp - LinearNode algebra tests --------------==//
+//
+// Exercises Definition 1 and Transformations 1-4 against the worked
+// examples in the thesis (Figures 3-1, 3-3, 3-4, 3-5, 3-6) and against
+// stream-simulation properties on random nodes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linear/LinearNode.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace slin;
+
+namespace {
+
+LinearNode randomNode(std::mt19937 &Rng, int E, int O, int U,
+                      bool WithOffsets = true) {
+  std::uniform_real_distribution<double> Dist(-2.0, 2.0);
+  Matrix A(static_cast<size_t>(E), static_cast<size_t>(U));
+  for (int R = 0; R != E; ++R)
+    for (int C = 0; C != U; ++C)
+      A.at(static_cast<size_t>(R), static_cast<size_t>(C)) = Dist(Rng);
+  Vector B(static_cast<size_t>(U));
+  if (WithOffsets)
+    for (int C = 0; C != U; ++C)
+      B[static_cast<size_t>(C)] = Dist(Rng);
+  return LinearNode(std::move(A), std::move(B), E, O, U);
+}
+
+std::vector<double> randomInput(std::mt19937 &Rng, size_t N) {
+  std::uniform_real_distribution<double> Dist(-1.0, 1.0);
+  std::vector<double> V(N);
+  for (double &D : V)
+    D = Dist(Rng);
+  return V;
+}
+
+/// Simulates a channel: fires \p N as many times as \p Input allows and
+/// returns the concatenated outputs.
+std::vector<double> runNode(const LinearNode &N,
+                            const std::vector<double> &Input) {
+  if (Input.size() < static_cast<size_t>(N.peekRate()))
+    return {};
+  int Firings =
+      1 + static_cast<int>((Input.size() - N.peekRate()) / N.popRate());
+  return N.applyStream(Input, Firings);
+}
+
+TEST(LinearNode, Figure31Example) {
+  // work peek 3 pop 1 push 2 { push(3*peek(2)+5*peek(1));
+  //                            push(2*peek(2)+peek(0)+6); pop(); }
+  // => A = [[2,3],[0,5],[1,0]], b = [6,0].
+  Matrix A = Matrix::fromRows({{2, 3}, {0, 5}, {1, 0}});
+  Vector B({6, 0});
+  LinearNode N(A, B, 3, 1, 2);
+  // Natural accessors: push 0 = 3*peek(2) + 5*peek(1).
+  EXPECT_DOUBLE_EQ(N.coeff(2, 0), 3);
+  EXPECT_DOUBLE_EQ(N.coeff(1, 0), 5);
+  EXPECT_DOUBLE_EQ(N.coeff(0, 0), 0);
+  EXPECT_DOUBLE_EQ(N.offset(0), 0);
+  // push 1 = 2*peek(2) + peek(0) + 6.
+  EXPECT_DOUBLE_EQ(N.coeff(2, 1), 2);
+  EXPECT_DOUBLE_EQ(N.coeff(0, 1), 1);
+  EXPECT_DOUBLE_EQ(N.offset(1), 6);
+
+  auto Out = N.apply({10.0, 20.0, 30.0});
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_DOUBLE_EQ(Out[0], 3 * 30 + 5 * 20);
+  EXPECT_DOUBLE_EQ(Out[1], 2 * 30 + 10 + 6);
+}
+
+TEST(LinearNode, ExpansionFigure34) {
+  // Expanding A1 = [1;2] (e=2,o=1,u=1) to (4,1,3) gives the banded matrix
+  // in Figure 3-4.
+  LinearNode N(Matrix::fromRows({{1}, {2}}), Vector(1), 2, 1, 1);
+  LinearNode X = expand(N, 4, 1, 3);
+  EXPECT_EQ(X.matrix(), Matrix::fromRows({{1, 0, 0},
+                                          {2, 1, 0},
+                                          {0, 2, 1},
+                                          {0, 0, 2}}));
+}
+
+TEST(LinearNode, ExpansionPreservesSemantics) {
+  // expand(N, k) with u'=k*u, o'=k*o is interchangeable with k firings.
+  std::mt19937 Rng(5);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    int E = 1 + static_cast<int>(Rng() % 5);
+    int O = 1 + static_cast<int>(Rng() % E);
+    int U = 1 + static_cast<int>(Rng() % 4);
+    int K = 1 + static_cast<int>(Rng() % 4);
+    LinearNode N = randomNode(Rng, E, O, U);
+    LinearNode X = expand(N, E + (K - 1) * O, K * O, K * U);
+    auto Input = randomInput(Rng, static_cast<size_t>(E + (K - 1) * O));
+    auto Direct = N.applyStream(Input, K);
+    auto Expanded = X.apply(Input);
+    ASSERT_EQ(Direct.size(), Expanded.size());
+    for (size_t I = 0; I != Direct.size(); ++I)
+      EXPECT_NEAR(Direct[I], Expanded[I], 1e-9)
+          << "E=" << E << " O=" << O << " U=" << U << " K=" << K;
+  }
+}
+
+TEST(LinearNode, ExpansionPartialColumnsAndOffsets) {
+  // u' not a multiple of u exercises the partial last copy and the
+  // b'[j] = b[u-1-(u'-1-j) mod u] rule.
+  LinearNode N(Matrix::fromRows({{1, 3}, {2, 4}}), Vector({10, 20}), 2, 1, 2);
+  LinearNode X = expand(N, 3, 1, 3);
+  // Offsets cycle push-wise: pushes are ..., so b' in natural order is
+  // (10? 20?) — verify via semantics instead of literal layout:
+  // firing 0 pushes apply(in[0..1]); firing 1 pushes apply(in[1..2])[0].
+  std::vector<double> In = {1, 2, 3};
+  auto Full = X.apply(In);
+  auto F0 = N.apply(In);
+  std::vector<double> Shift(In.begin() + 1, In.end());
+  auto F1 = N.apply(Shift);
+  ASSERT_EQ(Full.size(), 3u);
+  EXPECT_NEAR(Full[0], F0[0], 1e-12);
+  EXPECT_NEAR(Full[1], F0[1], 1e-12);
+  EXPECT_NEAR(Full[2], F1[0], 1e-12);
+}
+
+TEST(LinearNode, PipelineCombinationFigure34) {
+  LinearNode N1(Matrix::fromRows({{1}, {2}}), Vector(1), 2, 1, 1);
+  LinearNode N2(Matrix::fromRows({{3}, {4}, {5}}), Vector(1), 3, 1, 1);
+  LinearNode C = combinePipeline(N1, N2);
+  EXPECT_EQ(C.peekRate(), 4);
+  EXPECT_EQ(C.popRate(), 1);
+  EXPECT_EQ(C.pushRate(), 1);
+  EXPECT_EQ(C.matrix(), Matrix::fromRows({{3}, {10}, {13}, {10}}));
+}
+
+TEST(LinearNode, PipelineCombinationProperty) {
+  std::mt19937 Rng(17);
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    int E1 = 1 + static_cast<int>(Rng() % 4);
+    int O1 = 1 + static_cast<int>(Rng() % E1);
+    int U1 = 1 + static_cast<int>(Rng() % 3);
+    int E2 = 1 + static_cast<int>(Rng() % 5);
+    int O2 = 1 + static_cast<int>(Rng() % E2);
+    int U2 = 1 + static_cast<int>(Rng() % 3);
+    LinearNode N1 = randomNode(Rng, E1, O1, U1);
+    LinearNode N2 = randomNode(Rng, E2, O2, U2);
+    LinearNode C = combinePipeline(N1, N2);
+
+    auto Input = randomInput(Rng, 96);
+    auto Mid = runNode(N1, Input);
+    auto Expect = runNode(N2, Mid);
+    auto Got = runNode(C, Input);
+    size_t Common = std::min(Expect.size(), Got.size());
+    ASSERT_GT(Common, 0u) << "trial " << Trial;
+    for (size_t I = 0; I != Common; ++I)
+      EXPECT_NEAR(Got[I], Expect[I], 1e-7)
+          << "trial " << Trial << " I=" << I << " rates (" << E1 << ","
+          << O1 << "," << U1 << ")->(" << E2 << "," << O2 << "," << U2
+          << ")";
+  }
+}
+
+TEST(LinearNode, SplitJoinCombinationFigure36) {
+  LinearNode N1(Matrix::fromRows({{1, 2, 3, 4}, {5, 6, 7, 8}}),
+                Vector({5, 6, 7, 8}), 2, 2, 4);
+  LinearNode N2(Matrix::fromRows({{9}}), Vector({10}), 1, 1, 1);
+  LinearNode C = combineSplitJoinDuplicate({N1, N2}, {2, 1});
+  EXPECT_EQ(C.peekRate(), 2);
+  EXPECT_EQ(C.popRate(), 2);
+  EXPECT_EQ(C.pushRate(), 6);
+  EXPECT_EQ(C.matrix(), Matrix::fromRows({{9, 1, 2, 0, 3, 4},
+                                          {0, 5, 6, 9, 7, 8}}));
+  EXPECT_EQ(C.vector(), Vector({10, 5, 6, 10, 7, 8}));
+}
+
+/// Simulates a duplicate splitjoin with roundrobin joiner over \p Input.
+std::vector<double> simulateDupSJ(const std::vector<LinearNode> &Children,
+                                  const std::vector<int> &W,
+                                  const std::vector<double> &Input) {
+  std::vector<std::vector<double>> Outs;
+  for (const LinearNode &C : Children)
+    Outs.push_back(runNode(C, Input));
+  std::vector<double> Merged;
+  std::vector<size_t> Pos(Children.size(), 0);
+  while (true) {
+    for (size_t K = 0; K != Children.size(); ++K) {
+      if (Pos[K] + static_cast<size_t>(W[K]) > Outs[K].size())
+        return Merged;
+      for (int I = 0; I != W[K]; ++I)
+        Merged.push_back(Outs[K][Pos[K]++]);
+    }
+  }
+}
+
+TEST(LinearNode, SplitJoinDuplicateProperty) {
+  std::mt19937 Rng(23);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    size_t NChildren = 2 + Rng() % 2;
+    std::vector<LinearNode> Children;
+    std::vector<int> W;
+    int O = 1 + static_cast<int>(Rng() % 3);
+    for (size_t K = 0; K != NChildren; ++K) {
+      // All children share a pop rate (duplicate requires rate match
+      // after joiner-derived repetitions; keep o_k equal and u_k = o so
+      // every valid joiner weighting balances).
+      int E = O + static_cast<int>(Rng() % 3);
+      Children.push_back(randomNode(Rng, E, O, O));
+      W.push_back(1 + static_cast<int>(Rng() % 2));
+    }
+    // Balance: rep_k = w_k*joinRep/u_k must give equal o*rep_k for all k;
+    // with u_k = o_k = O this forces equal weights — so use equal weights.
+    std::fill(W.begin(), W.end(), W[0]);
+    LinearNode C = combineSplitJoin(Children, /*DuplicateSplitter=*/true,
+                                    {}, W);
+    auto Input = randomInput(Rng, 64);
+    auto Expect = simulateDupSJ(Children, W, Input);
+    auto Got = runNode(C, Input);
+    size_t Common = std::min(Expect.size(), Got.size());
+    ASSERT_GT(Common, 0u);
+    for (size_t I = 0; I != Common; ++I)
+      EXPECT_NEAR(Got[I], Expect[I], 1e-8) << "trial " << Trial;
+  }
+}
+
+TEST(LinearNode, DecimatorSelectsSlice) {
+  // roundrobin(2,1): child 0 sees items {0,1}, child 1 sees item {2}.
+  LinearNode D0 = makeDecimator(3, 0, 2);
+  LinearNode D1 = makeDecimator(3, 2, 1);
+  std::vector<double> In = {7, 8, 9};
+  EXPECT_EQ(D0.apply(In), (std::vector<double>{7, 8}));
+  EXPECT_EQ(D1.apply(In), (std::vector<double>{9}));
+}
+
+TEST(LinearNode, RoundRobinSplitJoinProperty) {
+  std::mt19937 Rng(31);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    // Two children, roundrobin(v0, v1) split, each child an FIR-like node
+    // (e=o=u so rates always balance through lcm machinery).
+    int V0 = 1 + static_cast<int>(Rng() % 3);
+    int V1 = 1 + static_cast<int>(Rng() % 3);
+    LinearNode C0 = randomNode(Rng, V0, V0, V0);
+    LinearNode C1 = randomNode(Rng, V1, V1, V1);
+    LinearNode C =
+        combineSplitJoin({C0, C1}, /*DuplicateSplitter=*/false, {V0, V1},
+                         {V0, V1});
+    auto Input = randomInput(Rng, 60);
+    // Simulate: deinterleave, run children, reinterleave.
+    std::vector<double> In0, In1;
+    for (size_t I = 0; I + V0 + V1 <= Input.size();) {
+      for (int J = 0; J != V0; ++J)
+        In0.push_back(Input[I++]);
+      for (int J = 0; J != V1; ++J)
+        In1.push_back(Input[I++]);
+    }
+    auto Out0 = runNode(C0, In0);
+    auto Out1 = runNode(C1, In1);
+    std::vector<double> Expect;
+    for (size_t P0 = 0, P1 = 0;
+         P0 + V0 <= Out0.size() && P1 + V1 <= Out1.size();) {
+      for (int J = 0; J != V0; ++J)
+        Expect.push_back(Out0[P0++]);
+      for (int J = 0; J != V1; ++J)
+        Expect.push_back(Out1[P1++]);
+    }
+    auto Got = runNode(C, Input);
+    size_t Common = std::min(Expect.size(), Got.size());
+    ASSERT_GT(Common, 0u);
+    for (size_t I = 0; I != Common; ++I)
+      EXPECT_NEAR(Got[I], Expect[I], 1e-8) << "trial " << Trial;
+  }
+}
+
+TEST(LinearNode, CombinationWithOffsetsProperty) {
+  // b must flow through pipeline combination as b1*A2 + b2.
+  std::mt19937 Rng(41);
+  LinearNode N1 = randomNode(Rng, 3, 1, 2, /*WithOffsets=*/true);
+  LinearNode N2 = randomNode(Rng, 4, 2, 1, /*WithOffsets=*/true);
+  LinearNode C = combinePipeline(N1, N2);
+  auto Input = randomInput(Rng, 40);
+  auto Expect = runNode(N2, runNode(N1, Input));
+  auto Got = runNode(C, Input);
+  size_t Common = std::min(Expect.size(), Got.size());
+  ASSERT_GT(Common, 0u);
+  for (size_t I = 0; I != Common; ++I)
+    EXPECT_NEAR(Got[I], Expect[I], 1e-8);
+}
+
+} // namespace
