@@ -16,6 +16,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace slin {
 namespace bench {
@@ -46,13 +48,21 @@ inline size_t warmupWindow(const std::string &Name) {
 
 inline Measurement measureConfig(const Stream &Root,
                                  const OptimizerOptions &Opts,
-                                 const std::string &Name,
-                                 bool MeasureTime) {
-  StreamPtr Opt = optimize(Root, Opts);
+                                 const std::string &Name, bool MeasureTime,
+                                 Engine Eng = Engine::Dynamic) {
+  OptimizerOptions O = Opts;
+  // Selection must optimize for the engine that will run the result: the
+  // compiled engine's op tapes and batched kernels shift the
+  // time/frequency break-even points (see MeasuredCostModel).
+  static const MeasuredCostModel CompiledModel{Engine::Compiled};
+  if (O.Mode == OptMode::AutoSel && !O.Model && Eng == Engine::Compiled)
+    O.Model = &CompiledModel;
+  StreamPtr Opt = optimize(Root, O);
   MeasureOptions MO;
   MO.WarmupOutputs = warmupWindow(Name);
   MO.MeasureOutputs = measureWindow(Name);
   MO.MeasureTime = MeasureTime;
+  MO.Eng = Eng;
   return measureSteadyState(*Opt, MO);
 }
 
@@ -75,6 +85,74 @@ inline void printRule(int Width = 78) {
     std::putchar('-');
   std::putchar('\n');
 }
+
+//===----------------------------------------------------------------------===//
+// Machine-readable results
+//===----------------------------------------------------------------------===//
+
+/// Collects benchmark rows and writes them as BENCH_<name>.json in the
+/// working directory, so the perf trajectory is trackable across PRs.
+/// Each entry carries a label, an engine tag and a flat set of numeric
+/// fields (ns_per_output, flops_per_output, ...).
+class JsonReport {
+public:
+  explicit JsonReport(std::string BenchName) : Name(std::move(BenchName)) {}
+  ~JsonReport() { write(); }
+
+  JsonReport(const JsonReport &) = delete;
+  JsonReport &operator=(const JsonReport &) = delete;
+
+  /// Adds one row of arbitrary numeric fields.
+  void add(const std::string &Label, Engine Eng,
+           std::vector<std::pair<std::string, double>> Fields) {
+    Entries.push_back({Label, engineName(Eng), std::move(Fields)});
+  }
+
+  /// Adds one row for a Measurement (the standard column set), plus any
+  /// extra fields (e.g. {"taps", 64}).
+  void add(const std::string &Label, Engine Eng, const Measurement &M,
+           std::vector<std::pair<std::string, double>> Extra = {}) {
+    std::vector<std::pair<std::string, double>> Fields = std::move(Extra);
+    Fields.push_back({"ns_per_output", M.secondsPerOutput() * 1e9});
+    Fields.push_back({"flops_per_output", M.flopsPerOutput()});
+    Fields.push_back({"mults_per_output", M.multsPerOutput()});
+    Fields.push_back({"outputs", static_cast<double>(M.Outputs)});
+    Entries.push_back({Label, engineName(Eng), std::move(Fields)});
+  }
+
+  /// Writes BENCH_<name>.json (also invoked by the destructor; idempotent
+  /// per content change).
+  void write() {
+    std::string Path = "BENCH_" + Name + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return;
+    }
+    std::fprintf(F, "{\n  \"bench\": \"%s\",\n  \"entries\": [\n",
+                 Name.c_str());
+    for (size_t I = 0; I != Entries.size(); ++I) {
+      const Entry &E = Entries[I];
+      std::fprintf(F, "    {\"label\": \"%s\", \"engine\": \"%s\"",
+                   E.Label.c_str(), E.EngineTag.c_str());
+      for (const auto &KV : E.Fields)
+        std::fprintf(F, ", \"%s\": %.17g", KV.first.c_str(), KV.second);
+      std::fprintf(F, "}%s\n", I + 1 == Entries.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+  }
+
+private:
+  struct Entry {
+    std::string Label;
+    std::string EngineTag;
+    std::vector<std::pair<std::string, double>> Fields;
+  };
+
+  std::string Name;
+  std::vector<Entry> Entries;
+};
 
 } // namespace bench
 } // namespace slin

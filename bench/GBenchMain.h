@@ -1,0 +1,49 @@
+//===- bench/GBenchMain.h - Shared Google-Benchmark main --------*- C++ -*-===//
+//
+// Entry point for the micro-benchmark binaries: runs the registered
+// benchmarks and defaults --benchmark_out to BENCH_<name>.json (JSON
+// format) unless the caller provides its own, so every bench_* binary
+// leaves a machine-readable result behind.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_BENCH_GBENCHMAIN_H
+#define SLIN_BENCH_GBENCHMAIN_H
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace slin {
+namespace bench {
+
+inline int runGoogleBenchmarks(int argc, char **argv, const char *Name) {
+  std::vector<char *> Args(argv, argv + argc);
+  std::string OutFlag = std::string("--benchmark_out=BENCH_") + Name + ".json";
+  std::string FmtFlag = "--benchmark_out_format=json";
+  bool HasOut = false, HasFmt = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A.rfind("--benchmark_out=", 0) == 0)
+      HasOut = true;
+    if (A.rfind("--benchmark_out_format", 0) == 0)
+      HasFmt = true;
+  }
+  if (!HasOut)
+    Args.push_back(OutFlag.data());
+  if (!HasOut && !HasFmt)
+    Args.push_back(FmtFlag.data());
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace bench
+} // namespace slin
+
+#endif // SLIN_BENCH_GBENCHMAIN_H

@@ -70,4 +70,8 @@ BENCHMARK(BM_SimpleFFT)->RangeMultiplier(4)->Range(64, 4096);
 
 } // namespace
 
-BENCHMARK_MAIN();
+#include "GBenchMain.h"
+
+int main(int argc, char **argv) {
+  return slin::bench::runGoogleBenchmarks(argc, argv, "fft");
+}

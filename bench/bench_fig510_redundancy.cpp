@@ -16,6 +16,7 @@ using namespace slin::apps;
 using namespace slin::bench;
 
 int main() {
+  JsonReport Report("fig510_redundancy");
   std::printf("Figure 5-10: redundancy replacement vs FIR size\n");
   printRule(76);
   std::printf("%6s %14s %16s %18s %12s\n", "taps", "base mults/out",
@@ -33,6 +34,11 @@ int main() {
                 100.0 * Red.multsPerOutput() / Base.multsPerOutput(),
                 speedupPercent(Base.secondsPerOutput(),
                                Red.secondsPerOutput()));
+    std::string T = std::to_string(Taps);
+    Report.add("FIR" + T + "_base", Engine::Dynamic, Base,
+               {{"taps", double(Taps)}});
+    Report.add("FIR" + T + "_redund", Engine::Dynamic, Red,
+               {{"taps", double(Taps)}});
   }
   std::printf("(expected: ~50%% remaining at even sizes, zig-zag at odd "
               "sizes, negative speedup)\n");

@@ -16,6 +16,7 @@ using namespace slin::apps;
 using namespace slin::bench;
 
 int main() {
+  JsonReport Report("fig511_radar_scaling");
   std::printf("Figure 5-11: Radar multiplication reduction under maximal "
               "linear replacement (%%)\n");
   printRule(64);
@@ -40,6 +41,12 @@ int main() {
                   percentRemoved(Base.multsPerOutput(),
                                  Lin.multsPerOutput()));
       std::fflush(stdout);
+      std::string Tag = "Radar_c" + std::to_string(Channels) + "_b" +
+                        std::to_string(Beams);
+      Report.add(Tag + "_base", Engine::Dynamic, Base,
+                 {{"channels", double(Channels)}, {"beams", double(Beams)}});
+      Report.add(Tag + "_linear", Engine::Dynamic, Lin,
+                 {{"channels", double(Channels)}, {"beams", double(Beams)}});
     }
     std::printf("\n");
   }

@@ -44,6 +44,7 @@ double reductionFactor(const Stream &Root, int FFTSize, bool Optimized,
 } // namespace
 
 int main() {
+  JsonReport Report("fig512_fft_strategies");
   std::printf("Figure 5-12: multiplication reduction factor vs FIR size "
               "and FFT size\n");
   const int Sizes[] = {16, 32, 64, 128};
@@ -80,6 +81,12 @@ int main() {
         }
         std::printf("   %-8.2f", Factor);
         std::fflush(stdout);
+        Report.add(std::string(1, Series[0]) + "_fir" + std::to_string(E) +
+                       "_fft" + std::to_string(N),
+                   Engine::Dynamic,
+                   {{"fir_taps", double(E)},
+                    {"fft_size", double(N)},
+                    {"reduction_factor", Factor}});
       }
       std::printf("\n");
     }

@@ -7,6 +7,11 @@
 // automatic optimization selection. One measurement sweep powers all
 // three figures; each is printed as its own series.
 //
+// Every configuration is additionally measured on the compiled batched
+// engine; the final series reports its wall-clock advantage over the
+// dynamic interpreter on the same programs. FLOP counts are engine-
+// independent (the engines execute identical arithmetic).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -16,9 +21,12 @@ using namespace slin::apps;
 using namespace slin::bench;
 
 int main() {
+  JsonReport Report("fig51_overall");
+
   struct Row {
     std::string Name;
     Measurement Base, Linear, Freq, AutoSel;
+    Measurement BaseC, LinearC, FreqC, AutoSelC; ///< compiled engine
   };
   std::vector<Row> Rows;
 
@@ -29,12 +37,25 @@ int main() {
     OptimizerOptions O;
     O.Mode = OptMode::Base;
     R.Base = measureConfig(*Root, O, B.Name, true);
+    R.BaseC = measureConfig(*Root, O, B.Name, true, Engine::Compiled);
     O.Mode = OptMode::Linear;
     R.Linear = measureConfig(*Root, O, B.Name, true);
+    R.LinearC = measureConfig(*Root, O, B.Name, true, Engine::Compiled);
     O.Mode = OptMode::Freq;
     R.Freq = measureConfig(*Root, O, B.Name, true);
+    R.FreqC = measureConfig(*Root, O, B.Name, true, Engine::Compiled);
     O.Mode = OptMode::AutoSel;
     R.AutoSel = measureConfig(*Root, O, B.Name, true);
+    R.AutoSelC = measureConfig(*Root, O, B.Name, true, Engine::Compiled);
+    for (auto [Tag, MD, MC] :
+         {std::tuple<const char *, const Measurement *, const Measurement *>
+              {"base", &R.Base, &R.BaseC},
+          {"linear", &R.Linear, &R.LinearC},
+          {"freq", &R.Freq, &R.FreqC},
+          {"autosel", &R.AutoSel, &R.AutoSelC}}) {
+      Report.add(B.Name + "_" + Tag, Engine::Dynamic, *MD);
+      Report.add(B.Name + "_" + Tag, Engine::Compiled, *MC);
+    }
     Rows.push_back(std::move(R));
     std::printf("measured %s\n", B.Name.c_str());
   }
@@ -98,5 +119,21 @@ int main() {
   std::printf("average autosel speedup: %.0f%%  best: %.0f%%  "
               "(paper: 450%% avg, 800%% best)\n",
               SumSpeed / Rows.size(), BestSpeed);
+
+  std::printf("\nTwo engines: compiled-vs-dynamic wall clock on the same "
+              "program (x)\n");
+  printRule();
+  std::printf("%-14s %10s %10s %10s %10s\n", "Benchmark", "base", "linear",
+              "freq", "autosel");
+  printRule();
+  auto Ratio = [](const Measurement &D, const Measurement &C) {
+    return C.secondsPerOutput() > 0.0
+               ? D.secondsPerOutput() / C.secondsPerOutput()
+               : 0.0;
+  };
+  for (const Row &R : Rows)
+    std::printf("%-14s %9.2fx %9.2fx %9.2fx %9.2fx\n", R.Name.c_str(),
+                Ratio(R.Base, R.BaseC), Ratio(R.Linear, R.LinearC),
+                Ratio(R.Freq, R.FreqC), Ratio(R.AutoSel, R.AutoSelC));
   return 0;
 }

@@ -13,6 +13,7 @@ using namespace slin::apps;
 using namespace slin::bench;
 
 int main() {
+  JsonReport Report("fig54_combination");
   struct Row {
     std::string Name;
     Measurement Base, Lin, LinNC, Frq, FrqNC;
@@ -35,6 +36,11 @@ int main() {
     R.Frq = measureConfig(*Root, O, B.Name, true);
     O.Combine = false;
     R.FrqNC = measureConfig(*Root, O, B.Name, true);
+    Report.add(B.Name + "_base", Engine::Dynamic, R.Base);
+    Report.add(B.Name + "_linear", Engine::Dynamic, R.Lin);
+    Report.add(B.Name + "_linear_nc", Engine::Dynamic, R.LinNC);
+    Report.add(B.Name + "_freq", Engine::Dynamic, R.Frq);
+    Report.add(B.Name + "_freq_nc", Engine::Dynamic, R.FrqNC);
     Rows.push_back(std::move(R));
     std::printf("measured %s\n", B.Name.c_str());
   }

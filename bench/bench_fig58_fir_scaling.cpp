@@ -5,6 +5,13 @@
 // plus the original-vs-optimized execution time scatter with the
 // selection cost-function curve (Figure 5-9).
 //
+// Every configuration is measured on both execution engines: the dynamic
+// tree-walking interpreter and the compiled batched engine (B = 16
+// steady-state iterations per batch). The "engine speedup" column is the
+// compiled engine's wall-clock advantage on the *same* program — the
+// payoff of static scheduling + op tapes + batched kernels, orthogonal
+// to the paper's algorithmic optimizations.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -16,11 +23,14 @@ using namespace slin::apps;
 using namespace slin::bench;
 
 int main() {
-  std::printf("Figure 5-8: frequency replacement vs FIR size\n");
-  printRule(76);
-  std::printf("%6s %14s %16s %16s %12s\n", "taps", "base mults/out",
-              "freq mults/out", "mults removed", "speedup");
-  printRule(76);
+  JsonReport Report("fig58_fir_scaling");
+
+  std::printf("Figure 5-8: frequency replacement vs FIR size "
+              "(both execution engines)\n");
+  printRule(78);
+  std::printf("%5s %13s %13s %13s %9s %9s\n", "taps", "base mults/out",
+              "freq mults/out", "mults removed", "freq spd", "engine x");
+  printRule(78);
 
   struct Point {
     int Taps;
@@ -30,16 +40,31 @@ int main() {
 
   for (int Taps = 4; Taps <= 128; Taps += Taps < 16 ? 2 : 8) {
     StreamPtr Root = buildFIR(Taps);
+    std::string T = std::to_string(Taps);
     OptimizerOptions O;
     O.Mode = OptMode::Base;
     Measurement Base = measureConfig(*Root, O, "FIR", true);
+    Measurement BaseC =
+        measureConfig(*Root, O, "FIR", true, Engine::Compiled);
     O.Mode = OptMode::Freq;
     Measurement Freq = measureConfig(*Root, O, "FIR", true);
-    std::printf("%6d %14.1f %16.1f %15.1f%% %11.1f%%\n", Taps,
+    Measurement FreqC =
+        measureConfig(*Root, O, "FIR", true, Engine::Compiled);
+
+    double EngineSpeedup =
+        BaseC.secondsPerOutput() > 0.0
+            ? Base.secondsPerOutput() / BaseC.secondsPerOutput()
+            : 0.0;
+    std::printf("%5d %14.1f %13.1f %12.1f%% %8.1f%% %8.2fx\n", Taps,
                 Base.multsPerOutput(), Freq.multsPerOutput(),
                 percentRemoved(Base.multsPerOutput(), Freq.multsPerOutput()),
                 speedupPercent(Base.secondsPerOutput(),
-                               Freq.secondsPerOutput()));
+                               Freq.secondsPerOutput()),
+                EngineSpeedup);
+    Report.add("FIR" + T + "_base", Engine::Dynamic, Base, {{"taps", double(Taps)}});
+    Report.add("FIR" + T + "_base", Engine::Compiled, BaseC, {{"taps", double(Taps)}});
+    Report.add("FIR" + T + "_freq", Engine::Dynamic, Freq, {{"taps", double(Taps)}});
+    Report.add("FIR" + T + "_freq", Engine::Compiled, FreqC, {{"taps", double(Taps)}});
     Scatter.push_back({Taps, Base.secondsPerOutput() * 1e6,
                        Freq.secondsPerOutput() * 1e6});
   }

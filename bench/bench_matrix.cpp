@@ -55,4 +55,8 @@ BENCHMARK(BM_TunedGemv)->RangeMultiplier(4)->Range(16, 1024);
 
 } // namespace
 
-BENCHMARK_MAIN();
+#include "GBenchMain.h"
+
+int main(int argc, char **argv) {
+  return slin::bench::runGoogleBenchmarks(argc, argv, "matrix");
+}

@@ -47,5 +47,26 @@ int main() {
   std::printf("  Trans %10.2f\n", M.Ops.Trans / N);
   std::printf("  FLOPs %10.2f   mults %7.2f\n", M.flopsPerOutput(),
               M.multsPerOutput());
+
+  // The compiled engine's counted path must reproduce the interpreter's
+  // taxonomy exactly (its op tapes tag uncounted index arithmetic the
+  // same way); print it so drift is visible.
+  MO.Eng = Engine::Compiled;
+  Measurement MC = measureSteadyState(*Root, MO);
+  std::printf("\nsame window on the compiled engine (must match):\n");
+  printRule(40);
+  std::printf("  FLOPs %10.2f   mults %7.2f\n", MC.flopsPerOutput(),
+              MC.multsPerOutput());
+
+  JsonReport Report("table51_flops_taxonomy");
+  Report.add("FIR64", Engine::Dynamic, M);
+  Report.add("FIR64", Engine::Compiled, MC);
+  Report.add("FIR64_categories", Engine::Dynamic,
+             {{"adds", M.Ops.Adds / N},
+              {"subs", M.Ops.Subs / N},
+              {"muls", M.Ops.Muls / N},
+              {"divs", M.Ops.Divs / N},
+              {"cmps", M.Ops.Cmps / N},
+              {"trans", M.Ops.Trans / N}});
   return 0;
 }

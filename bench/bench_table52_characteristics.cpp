@@ -16,6 +16,7 @@ using namespace slin::apps;
 using namespace slin::bench;
 
 int main() {
+  JsonReport Report("table52_characteristics");
   std::printf("Table 5.2: benchmark characteristics before/after autosel\n");
   printRule(94);
   std::printf("%-13s | %9s %10s %10s %9s | %9s %10s %10s\n", "Benchmark",
@@ -41,6 +42,15 @@ int main() {
     std::printf("%-13s | %9s %10s %10s %9.0f | %9d %10d %10d\n",
                 B.Name.c_str(), FBuf, PBuf, SBuf, S.AvgVectorSize,
                 After.Filters, After.Pipelines, After.SplitJoins);
+    Report.add(B.Name, Engine::Dynamic,
+               {{"filters", double(S.Filters)},
+                {"linear_filters", double(S.LinearFilters)},
+                {"pipelines", double(S.Pipelines)},
+                {"splitjoins", double(S.SplitJoins)},
+                {"avg_vector_size", S.AvgVectorSize},
+                {"filters_after", double(After.Filters)},
+                {"pipelines_after", double(After.Pipelines)},
+                {"splitjoins_after", double(After.SplitJoins)}});
   }
   printRule(94);
   std::printf("(paper, before: FIR 3(1), RateConvert 5(3), TargetDetect "

@@ -1,0 +1,320 @@
+//===- exec/CompiledExecutor.cpp - Batched compiled executor ----------------==//
+
+#include "exec/CompiledExecutor.h"
+
+#include "support/Diag.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace slin;
+using namespace slin::flat;
+
+CompiledExecutor::~CompiledExecutor() = default;
+
+//===----------------------------------------------------------------------===//
+// Native-filter tape adapter
+//===----------------------------------------------------------------------===//
+
+/// Raw-pointer tape for per-firing native execution (init firings and
+/// native filters without a batched path).
+class CompiledExecutor::PtrTape : public wir::Tape {
+public:
+  PtrTape(const double *In, double *Out, std::vector<double> &Printed)
+      : In(In), Out(Out), Printed(Printed) {}
+
+  double peek(int Index) override {
+    assert(In && Index >= 0 && "peek on a source filter");
+    return In[Pos + static_cast<size_t>(Index)];
+  }
+  double pop() override {
+    assert(In && "pop on a source filter");
+    return In[Pos++];
+  }
+  void push(double Value) override {
+    assert(Out && "push on a filter without an output channel");
+    Out[OutPos++] = Value;
+  }
+  void print(double Value) override { Printed.push_back(Value); }
+
+private:
+  const double *In;
+  size_t Pos = 0;
+  double *Out;
+  size_t OutPos = 0;
+  std::vector<double> &Printed;
+};
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+CompiledExecutor::CompiledExecutor(const Stream &Root, Options Opts)
+    : Opts(Opts), Graph(Root),
+      Sched(computeSchedule(Graph, Opts.BatchIterations)) {
+  Channels.resize(Graph.numChannels());
+  for (size_t C = 0; C != Graph.numChannels(); ++C) {
+    if (static_cast<int>(C) == Graph.ExternalIn ||
+        static_cast<int>(C) == Graph.ExternalOut)
+      continue;
+    ChannelBuf &B = Channels[C];
+    B.Buf.assign(static_cast<size_t>(Sched.ChannelBufSize[C]), 0.0);
+    const std::vector<double> &Init = Graph.InitialItems[C];
+    std::copy(Init.begin(), Init.end(), B.Buf.begin());
+    B.Tail = Init.size();
+  }
+
+  States.resize(Graph.Nodes.size());
+  for (size_t I = 0; I != Graph.Nodes.size(); ++I) {
+    const Node &N = Graph.Nodes[I];
+    if (N.Kind != NodeKind::Filter)
+      continue;
+    FilterState &S = States[I];
+    if (N.F->isNative()) {
+      S.Native = N.F->native().clone();
+      continue;
+    }
+    S.Fields = wir::FieldStore(N.F->fields());
+    S.Work = wir::OpProgram::compile(N.F->work(), N.F->fields());
+    S.Work.prepareFrame(S.Frame);
+    if (const wir::WorkFunction *IW = N.F->initWork()) {
+      S.InitWork = wir::OpProgram::compile(*IW, N.F->fields());
+      S.InitWork.prepareFrame(S.Frame);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Channel access
+//===----------------------------------------------------------------------===//
+
+const double *CompiledExecutor::readBase(int Chan) const {
+  if (Chan == Graph.ExternalIn)
+    return ExtIn.data() + ExtInPos;
+  const ChannelBuf &B = Channels[static_cast<size_t>(Chan)];
+  return B.Buf.data() + B.Head;
+}
+
+void CompiledExecutor::advanceRead(int Chan, size_t N) {
+  if (Chan == Graph.ExternalIn) {
+    ExtInPos += N;
+    assert(ExtInPos <= ExtIn.size() && "external input overrun");
+    return;
+  }
+  ChannelBuf &B = Channels[static_cast<size_t>(Chan)];
+  B.Head += N;
+  assert(B.Head <= B.Tail && "channel underflow (schedule bug)");
+}
+
+double *CompiledExecutor::writePtr(int Chan, size_t N) {
+  if (Chan == Graph.ExternalOut) {
+    size_t Old = ExtOut.size();
+    ExtOut.resize(Old + N);
+    return ExtOut.data() + Old;
+  }
+  ChannelBuf &B = Channels[static_cast<size_t>(Chan)];
+  assert(B.Tail + N <= B.Buf.size() && "channel overflow (schedule bug)");
+  double *P = B.Buf.data() + B.Tail;
+  B.Tail += N;
+  return P;
+}
+
+void CompiledExecutor::compact() {
+  for (size_t C = 0; C != Channels.size(); ++C) {
+    if (static_cast<int>(C) == Graph.ExternalIn ||
+        static_cast<int>(C) == Graph.ExternalOut)
+      continue;
+    ChannelBuf &B = Channels[C];
+    if (B.Head == 0)
+      continue;
+    size_t Live = B.live();
+    if (Live)
+      std::memmove(B.Buf.data(), B.Buf.data() + B.Head,
+                   Live * sizeof(double));
+    B.Head = 0;
+    B.Tail = Live;
+  }
+  // Drop the consumed prefix of the external input.
+  if (ExtInPos) {
+    ExtIn.erase(ExtIn.begin(),
+                ExtIn.begin() + static_cast<ptrdiff_t>(ExtInPos));
+    ExtInPos = 0;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Firing
+//===----------------------------------------------------------------------===//
+
+void CompiledExecutor::fireFilterStep(size_t NodeIdx, int64_t K) {
+  const Node &N = Graph.Nodes[NodeIdx];
+  FilterState &S = States[NodeIdx];
+  const Filter *F = N.F;
+
+  bool InitPending = !S.FiredOnce && F->hasInitWork();
+  int64_t SteadyK = K - (InitPending ? 1 : 0);
+  int InitPop = InitPending ? F->initPopRate() : 0;
+  int InitPush = InitPending ? F->initPushRate() : 0;
+  int Pop = F->popRate();
+  int Push = F->pushRate();
+  size_t TotalPop =
+      static_cast<size_t>(InitPop) + static_cast<size_t>(SteadyK) * Pop;
+  size_t TotalPush =
+      static_cast<size_t>(InitPush) + static_cast<size_t>(SteadyK) * Push;
+
+  const double *In = N.In >= 0 ? readBase(N.In) : nullptr;
+  double *Out = N.Out >= 0 && TotalPush ? writePtr(N.Out, TotalPush) : nullptr;
+
+  if (S.Native) {
+    const double *Ip = In;
+    double *Op = Out;
+    if (InitPending) {
+      PtrTape T(Ip, Op, Printed);
+      S.Native->fireInit(T);
+      Ip = Ip ? Ip + InitPop : nullptr;
+      Op = Op ? Op + InitPush : nullptr;
+    }
+    if (SteadyK > 0) {
+      bool Batched = SteadyK > 1 && Ip && Op &&
+                     S.Native->fireBatch(Ip, Op, static_cast<int>(SteadyK));
+      if (!Batched) {
+        for (int64_t I = 0; I != SteadyK; ++I) {
+          PtrTape T(Ip, Op, Printed);
+          S.Native->fire(T);
+          Ip = Ip ? Ip + Pop : nullptr;
+          Op = Op ? Op + Push : nullptr;
+        }
+      }
+    }
+  } else {
+    const double *Ip = In;
+    double *Op = Out;
+    if (InitPending) {
+      S.InitWork.run(S.Frame, S.Fields, Ip, Op, Printed);
+      Ip = Ip ? Ip + InitPop : nullptr;
+      Op = Op ? Op + InitPush : nullptr;
+    }
+    for (int64_t I = 0; I != SteadyK; ++I) {
+      S.Work.run(S.Frame, S.Fields, Ip, Op, Printed);
+      Ip = Ip ? Ip + Pop : nullptr;
+      Op = Op ? Op + Push : nullptr;
+    }
+  }
+
+  S.FiredOnce = true;
+  if (N.In >= 0)
+    advanceRead(N.In, TotalPop);
+  Firings += static_cast<uint64_t>(K);
+}
+
+void CompiledExecutor::fireSplitJoinStep(size_t NodeIdx, int64_t K) {
+  const Node &N = Graph.Nodes[NodeIdx];
+  Firings += static_cast<uint64_t>(K);
+  switch (N.Kind) {
+  case NodeKind::DupSplit: {
+    size_t KN = static_cast<size_t>(K);
+    const double *In = readBase(N.In);
+    for (int OutChan : N.Outs) {
+      double *Dst = writePtr(OutChan, KN);
+      std::copy(In, In + KN, Dst);
+    }
+    advanceRead(N.In, KN);
+    return;
+  }
+  case NodeKind::RRSplit: {
+    size_t Tot = static_cast<size_t>(N.totalWeight());
+    const double *In = readBase(N.In);
+    if (WriteCursors.size() < N.Outs.size())
+      WriteCursors.resize(N.Outs.size());
+    double **Dst = WriteCursors.data();
+    for (size_t C = 0; C != N.Outs.size(); ++C)
+      Dst[C] = writePtr(N.Outs[C],
+                        static_cast<size_t>(K) *
+                            static_cast<size_t>(N.Weights[C]));
+    for (int64_t I = 0; I != K; ++I)
+      for (size_t C = 0; C != N.Outs.size(); ++C)
+        for (int W = 0; W != N.Weights[C]; ++W)
+          *Dst[C]++ = *In++;
+    advanceRead(N.In, static_cast<size_t>(K) * Tot);
+    return;
+  }
+  case NodeKind::RRJoin: {
+    size_t Tot = static_cast<size_t>(N.totalWeight());
+    if (ReadCursors.size() < N.Ins.size())
+      ReadCursors.resize(N.Ins.size());
+    const double **Src = ReadCursors.data();
+    for (size_t C = 0; C != N.Ins.size(); ++C)
+      Src[C] = readBase(N.Ins[C]);
+    double *Out = writePtr(N.Out, static_cast<size_t>(K) * Tot);
+    for (int64_t I = 0; I != K; ++I)
+      for (size_t C = 0; C != N.Ins.size(); ++C)
+        for (int W = 0; W != N.Weights[C]; ++W)
+          *Out++ = *Src[C]++;
+    for (size_t C = 0; C != N.Ins.size(); ++C)
+      advanceRead(N.Ins[C],
+                  static_cast<size_t>(K) * static_cast<size_t>(N.Weights[C]));
+    return;
+  }
+  case NodeKind::Filter:
+    break;
+  }
+  unreachable("not a splitter/joiner node");
+}
+
+void CompiledExecutor::runProgram(const FiringProgram &Prog) {
+  for (const FiringStep &Step : Prog) {
+    size_t I = static_cast<size_t>(Step.Node);
+    if (Graph.Nodes[I].Kind == NodeKind::Filter)
+      fireFilterStep(I, Step.Count);
+    else
+      fireSplitJoinStep(I, Step.Count);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Driving
+//===----------------------------------------------------------------------===//
+
+void CompiledExecutor::provideInput(const std::vector<double> &Items) {
+  ExtIn.insert(ExtIn.end(), Items.begin(), Items.end());
+}
+
+size_t CompiledExecutor::outputsProduced() const {
+  if (Graph.RootProducesOutput)
+    return ExtOut.size();
+  return Printed.size();
+}
+
+void CompiledExecutor::run(size_t NOutputs) {
+  if (outputsProduced() >= NOutputs)
+    return;
+  if (!InitDone) {
+    if (extInAvailable() < static_cast<size_t>(Sched.InitExternalNeed))
+      fatalError("stream graph deadlocked: initialization needs " +
+                 std::to_string(Sched.InitExternalNeed) +
+                 " external input items, have " +
+                 std::to_string(extInAvailable()));
+    runProgram(Sched.InitProgram);
+    compact();
+    InitDone = true;
+  }
+  while (outputsProduced() < NOutputs) {
+    size_t Before = outputsProduced();
+    if (extInAvailable() >= static_cast<size_t>(Sched.BatchExternalNeed))
+      runProgram(Sched.BatchProgram);
+    else if (extInAvailable() >=
+             static_cast<size_t>(Sched.SteadyExternalNeed))
+      runProgram(Sched.SteadyProgram);
+    else
+      fatalError("stream graph deadlocked: a steady-state iteration needs " +
+                 std::to_string(Sched.SteadyExternalNeed) +
+                 " external input items, have " +
+                 std::to_string(extInAvailable()) + " (needed " +
+                 std::to_string(NOutputs) + " outputs, have " +
+                 std::to_string(outputsProduced()) + ")");
+    compact();
+    if (outputsProduced() == Before)
+      fatalError("stream graph deadlocked: steady state produces no "
+                 "observable output");
+  }
+}

@@ -1,0 +1,129 @@
+//===- exec/CompiledExecutor.h - Batched compiled executor ------*- C++ -*-===//
+///
+/// \file
+/// The compiled, batched steady-state execution engine — the runtime
+/// counterpart of the paper's performance model, where linear replacement
+/// collapses a pipeline into one matrix multiply whose cost is then
+/// driven down by a tuned kernel (Sections 5.2-5.4). Where the dynamic
+/// Executor re-discovers a schedule every sweep and tree-walks each work
+/// function, this engine precomputes everything it can:
+///
+///  * the flattened graph's steady-state schedule (sched/Schedule.h)
+///    becomes a fixed firing program — a short list of (node, count)
+///    steps covering B steady-state iterations per batch;
+///  * channels become flat ring buffers sized from the schedule's exact
+///    high-water marks, compacted once per program run, so every peek
+///    window and push cursor is a raw pointer;
+///  * each work function is flattened once into an op tape
+///    (wir/OpTape.h) executed by a tight dispatch loop;
+///  * a linear node fired K times in a row executes one cache-blocked,
+///    register-tiled K x e by e x u matrix multiply (matrix/Kernels.h
+///    applyBatched) instead of K matrix-vector products.
+///
+/// Outputs are bit-identical to the dynamic Executor's: op tapes replay
+/// the interpreter's evaluation order exactly, and batched kernels
+/// replay the sequential kernels' per-firing accumulation order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_EXEC_COMPILEDEXECUTOR_H
+#define SLIN_EXEC_COMPILEDEXECUTOR_H
+
+#include "exec/FlatGraph.h"
+#include "sched/Schedule.h"
+#include "wir/OpTape.h"
+
+namespace slin {
+
+class CompiledExecutor {
+public:
+  struct Options {
+    /// Steady-state iterations fused into one batch program. Larger
+    /// batches give the batched kernels longer runs (and cost
+    /// proportionally more channel memory).
+    int BatchIterations = 16;
+  };
+
+  explicit CompiledExecutor(const Stream &Root)
+      : CompiledExecutor(Root, Options()) {}
+  CompiledExecutor(const Stream &Root, Options Opts);
+  ~CompiledExecutor();
+
+  CompiledExecutor(const CompiledExecutor &) = delete;
+  CompiledExecutor &operator=(const CompiledExecutor &) = delete;
+
+  /// Appends items to the graph's external input channel.
+  void provideInput(const std::vector<double> &Items);
+
+  /// Runs batch programs (falling back to single steady iterations when
+  /// the remaining external input cannot cover a batch) until the
+  /// observable output count reaches \p NOutputs. Reports a fatal error
+  /// when the graph deadlocks (insufficient input / invalid graph).
+  void run(size_t NOutputs);
+
+  /// Items on the external output channel (never consumed).
+  std::vector<double> outputSnapshot() const { return ExtOut; }
+
+  /// Values produced by print statements, in order.
+  const std::vector<double> &printed() const { return Printed; }
+
+  /// Count of observable outputs produced so far.
+  size_t outputsProduced() const;
+
+  /// Total node firings so far (diagnostics).
+  uint64_t firings() const { return Firings; }
+
+  /// The static schedule driving this engine (for tests/diagnostics).
+  const StaticSchedule &schedule() const { return Sched; }
+
+private:
+  /// A flat channel buffer; live items occupy [Head, Tail). Compacted
+  /// (live items moved to the front) after every program run, so within
+  /// one program positions never exceed the scheduled buffer size.
+  struct ChannelBuf {
+    std::vector<double> Buf;
+    size_t Head = 0;
+    size_t Tail = 0;
+    size_t live() const { return Tail - Head; }
+  };
+
+  /// Per-filter execution state.
+  struct FilterState {
+    wir::OpProgram Work;
+    wir::OpProgram InitWork; ///< empty() when the filter has none
+    wir::WorkFrame Frame;
+    wir::FieldStore Fields;
+    std::unique_ptr<NativeFilter> Native;
+    bool FiredOnce = false;
+  };
+
+  class PtrTape;
+
+  size_t extInAvailable() const { return ExtIn.size() - ExtInPos; }
+  const double *readBase(int Chan) const;
+  void advanceRead(int Chan, size_t N);
+  double *writePtr(int Chan, size_t N);
+  void runProgram(const FiringProgram &Prog);
+  void fireFilterStep(size_t NodeIdx, int64_t K);
+  void fireSplitJoinStep(size_t NodeIdx, int64_t K);
+  void compact();
+
+  Options Opts;
+  flat::FlatGraph Graph;
+  StaticSchedule Sched;
+  std::vector<ChannelBuf> Channels; ///< indexed by channel; external unused
+  std::vector<FilterState> States;  ///< indexed by node; filters only
+  std::vector<double> ExtIn;
+  size_t ExtInPos = 0;
+  std::vector<double> ExtOut;
+  std::vector<double> Printed;
+  /// Reusable splitter/joiner cursor scratch (no steady-state allocation).
+  std::vector<double *> WriteCursors;
+  std::vector<const double *> ReadCursors;
+  bool InitDone = false;
+  uint64_t Firings = 0;
+};
+
+} // namespace slin
+
+#endif // SLIN_EXEC_COMPILEDEXECUTOR_H

@@ -1,0 +1,28 @@
+//===- exec/Engine.h - Execution engine selection ---------------*- C++ -*-===//
+///
+/// \file
+/// The two execution engines of the runtime: the dynamic data-driven
+/// Executor (tree-walking interpreter, per-sweep readiness scan) and the
+/// compiled batched CompiledExecutor (static firing program, op tapes,
+/// batched matrix kernels). Measurement helpers, the cost model and the
+/// benchmark harness all select an engine through this enum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_EXEC_ENGINE_H
+#define SLIN_EXEC_ENGINE_H
+
+namespace slin {
+
+enum class Engine {
+  Dynamic, ///< exec/Executor.h
+  Compiled ///< exec/CompiledExecutor.h
+};
+
+inline const char *engineName(Engine E) {
+  return E == Engine::Dynamic ? "dynamic" : "compiled";
+}
+
+} // namespace slin
+
+#endif // SLIN_EXEC_ENGINE_H

@@ -1,12 +1,12 @@
-//===- exec/Executor.cpp - Stream-graph executor ----------------------------==//
+//===- exec/Executor.cpp - Dynamic stream-graph executor --------------------==//
 #include <algorithm>
 
 #include "exec/Executor.h"
 
-#include "sched/Rates.h"
 #include "support/Diag.h"
 
 using namespace slin;
+using namespace slin::flat;
 
 Executor::~Executor() = default;
 
@@ -51,14 +51,25 @@ private:
 };
 
 //===----------------------------------------------------------------------===//
-// Flattening
+// Construction
 //===----------------------------------------------------------------------===//
 
-Executor::Executor(const Stream &Root, Options Opts) : Opts(Opts) {
-  ExternalIn = makeChannel();
-  ExternalOut = makeChannel();
-  flatten(Root, ExternalIn, ExternalOut);
-  RootProducesOutput = computeRates(Root).Push > 0;
+Executor::Executor(const Stream &Root, Options Opts)
+    : Opts(Opts), Graph(Root) {
+  Channels.resize(Graph.numChannels());
+  for (size_t C = 0; C != Channels.size(); ++C)
+    for (double V : Graph.InitialItems[C])
+      Channels[C].Q.push_back(V);
+  States.resize(Graph.Nodes.size());
+  for (size_t I = 0; I != Graph.Nodes.size(); ++I) {
+    const Node &N = Graph.Nodes[I];
+    if (N.Kind != NodeKind::Filter)
+      continue;
+    if (N.F->isNative())
+      States[I].Native = N.F->native().clone();
+    else
+      States[I].Fields = wir::FieldStore(N.F->fields());
+  }
   computeChannelCaps();
 }
 
@@ -72,7 +83,7 @@ void Executor::computeChannelCaps() {
     size_t Cap = std::max(Opts.MinChannelCap, 2 * Need);
     C.Cap = std::min(C.Cap, std::max(Cap, C.Q.size()));
   };
-  for (const Node &N : Nodes) {
+  for (const Node &N : Graph.Nodes) {
     switch (N.Kind) {
     case NodeKind::Filter: {
       int Need = std::max(std::max(N.F->peekRate(), N.F->initPeekRate()), 1);
@@ -82,132 +93,15 @@ void Executor::computeChannelCaps() {
     case NodeKind::DupSplit:
       Require(N.In, 1);
       break;
-    case NodeKind::RRSplit: {
-      size_t Total = 0;
-      for (int W : N.Weights)
-        Total += static_cast<size_t>(W);
-      Require(N.In, Total);
+    case NodeKind::RRSplit:
+      Require(N.In, static_cast<size_t>(N.totalWeight()));
       break;
-    }
     case NodeKind::RRJoin:
       for (size_t K = 0; K != N.Ins.size(); ++K)
         Require(N.Ins[K], static_cast<size_t>(N.Weights[K]));
       break;
     }
   }
-}
-
-int Executor::makeChannel() {
-  Channels.emplace_back();
-  return static_cast<int>(Channels.size() - 1);
-}
-
-void Executor::flatten(const Stream &S, int InChan, int OutChan) {
-  switch (S.kind()) {
-  case StreamKind::Filter: {
-    const auto *F = cast<Filter>(&S);
-    Node N;
-    N.Kind = NodeKind::Filter;
-    N.Name = F->name();
-    N.F = F;
-    if (F->isNative())
-      N.Native = F->native().clone();
-    else
-      N.State = wir::FieldStore(F->fields());
-    N.In = F->peekRate() == 0 && F->popRate() == 0 && F->initPeekRate() == 0 &&
-                   F->initPopRate() == 0
-               ? -1
-               : InChan;
-    N.Out = OutChan;
-    Nodes.push_back(std::move(N));
-    return;
-  }
-  case StreamKind::Pipeline: {
-    const auto *P = cast<Pipeline>(&S);
-    const auto &Children = P->children();
-    assert(!Children.empty() && "empty pipeline");
-    int Cur = InChan;
-    for (size_t I = 0; I != Children.size(); ++I) {
-      int Next = I + 1 == Children.size() ? OutChan : makeChannel();
-      flatten(*Children[I], Cur, Next);
-      Cur = Next;
-    }
-    return;
-  }
-  case StreamKind::SplitJoin: {
-    const auto *SJ = cast<SplitJoin>(&S);
-    const auto &Children = SJ->children();
-    assert(!Children.empty() && "empty splitjoin");
-
-    Node Split;
-    Split.Kind = SJ->splitter().Kind == Splitter::Duplicate
-                     ? NodeKind::DupSplit
-                     : NodeKind::RRSplit;
-    Split.Name = SJ->name() + ".split";
-    Split.In = InChan;
-    Split.Weights = SJ->splitter().Weights;
-
-    Node Join;
-    Join.Kind = NodeKind::RRJoin;
-    Join.Name = SJ->name() + ".join";
-    Join.Out = OutChan;
-    Join.Weights = SJ->joiner().Weights;
-
-    std::vector<std::pair<int, int>> ChildChans;
-    for (size_t K = 0; K != Children.size(); ++K) {
-      int CIn = makeChannel();
-      int COut = makeChannel();
-      Split.Outs.push_back(CIn);
-      Join.Ins.push_back(COut);
-      ChildChans.push_back({CIn, COut});
-    }
-    // A "null" roundrobin splitter (all weights zero; e.g. Radar's bank of
-    // source channels) moves no data: omit the node entirely.
-    bool NullSplit = Split.Kind == NodeKind::RRSplit &&
-                     SJ->splitter().totalWeight() == 0;
-    if (!NullSplit)
-      Nodes.push_back(std::move(Split));
-    for (size_t K = 0; K != Children.size(); ++K)
-      flatten(*Children[K], ChildChans[K].first, ChildChans[K].second);
-    Nodes.push_back(std::move(Join));
-    return;
-  }
-  case StreamKind::FeedbackLoop: {
-    const auto *FB = cast<FeedbackLoop>(&S);
-    int BodyIn = makeChannel();
-    int BodyOut = makeChannel();
-    int LoopIn = makeChannel();
-    int LoopOut = makeChannel();
-
-    Node Join;
-    Join.Kind = NodeKind::RRJoin;
-    Join.Name = FB->name() + ".join";
-    Join.Ins = {InChan, LoopOut};
-    Join.Weights = FB->joiner().Weights;
-    Join.Out = BodyIn;
-    Nodes.push_back(std::move(Join));
-
-    flatten(FB->body(), BodyIn, BodyOut);
-
-    Node Split;
-    Split.Kind = FB->splitter().Kind == Splitter::Duplicate
-                     ? NodeKind::DupSplit
-                     : NodeKind::RRSplit;
-    Split.Name = FB->name() + ".split";
-    Split.In = BodyOut;
-    Split.Outs = {OutChan, LoopIn};
-    Split.Weights = FB->splitter().Weights;
-    Nodes.push_back(std::move(Split));
-
-    flatten(FB->loop(), LoopIn, LoopOut);
-
-    // Pre-fill the feedback channel so the joiner can start.
-    for (double V : FB->enqueued())
-      Channels[static_cast<size_t>(LoopOut)].Q.push_back(V);
-    return;
-  }
-  }
-  unreachable("unknown stream kind");
 }
 
 //===----------------------------------------------------------------------===//
@@ -220,7 +114,8 @@ size_t Executor::inputAvailable(const Node &N) const {
   return Channels[static_cast<size_t>(N.In)].Q.size();
 }
 
-bool Executor::canFire(const Node &N) const {
+bool Executor::canFire(size_t I) const {
+  const Node &N = Graph.Nodes[I];
   auto OutHasRoom = [&](int Chan) {
     if (Chan < 0)
       return true;
@@ -229,11 +124,9 @@ bool Executor::canFire(const Node &N) const {
   };
   switch (N.Kind) {
   case NodeKind::Filter: {
-    size_t Need;
-    if (!N.FiredOnce && N.F->hasInitWork())
-      Need = static_cast<size_t>(N.F->initPeekRate());
-    else
-      Need = static_cast<size_t>(N.F->peekRate());
+    bool Init = !States[I].FiredOnce && N.F->hasInitWork();
+    size_t Need = static_cast<size_t>(
+        Init ? N.F->initPeekRate() : N.F->peekRate());
     if (N.In >= 0 && inputAvailable(N) < Need)
       return false;
     if (N.In < 0 && Need > 0)
@@ -249,10 +142,7 @@ bool Executor::canFire(const Node &N) const {
     return true;
   }
   case NodeKind::RRSplit: {
-    size_t Need = 0;
-    for (int W : N.Weights)
-      Need += static_cast<size_t>(W);
-    if (inputAvailable(N) < Need)
+    if (inputAvailable(N) < static_cast<size_t>(N.totalWeight()))
       return false;
     for (int C : N.Outs)
       if (!OutHasRoom(C))
@@ -270,23 +160,24 @@ bool Executor::canFire(const Node &N) const {
   unreachable("unknown node kind");
 }
 
-void Executor::fire(Node &N) {
+void Executor::fire(size_t I) {
   ++Firings;
+  const Node &N = Graph.Nodes[I];
   switch (N.Kind) {
   case NodeKind::Filter: {
     NodeTape T(*this, N.In, N.Out);
-    bool Init = !N.FiredOnce && N.F->hasInitWork();
-    N.FiredOnce = true;
-    if (N.Native) {
+    NodeState &S = States[I];
+    bool Init = !S.FiredOnce && N.F->hasInitWork();
+    S.FiredOnce = true;
+    if (S.Native) {
       if (Init)
-        N.Native->fireInit(T);
+        S.Native->fireInit(T);
       else
-        N.Native->fire(T);
+        S.Native->fire(T);
       return;
     }
-    const wir::WorkFunction &W =
-        Init ? *N.F->initWork() : N.F->work();
-    wir::interpret(W, N.F->fields(), N.State, T);
+    const wir::WorkFunction &W = Init ? *N.F->initWork() : N.F->work();
+    wir::interpret(W, N.F->fields(), S.Fields, T);
     return;
   }
   case NodeKind::DupSplit: {
@@ -301,7 +192,7 @@ void Executor::fire(Node &N) {
     auto &In = Channels[static_cast<size_t>(N.In)].Q;
     for (size_t K = 0; K != N.Outs.size(); ++K) {
       auto &Out = Channels[static_cast<size_t>(N.Outs[K])].Q;
-      for (int I = 0; I != N.Weights[K]; ++I) {
+      for (int J = 0; J != N.Weights[K]; ++J) {
         Out.push_back(In.front());
         In.pop_front();
       }
@@ -312,7 +203,7 @@ void Executor::fire(Node &N) {
     auto &Out = Channels[static_cast<size_t>(N.Out)].Q;
     for (size_t K = 0; K != N.Ins.size(); ++K) {
       auto &In = Channels[static_cast<size_t>(N.Ins[K])].Q;
-      for (int I = 0; I != N.Weights[K]; ++I) {
+      for (int J = 0; J != N.Weights[K]; ++J) {
         Out.push_back(In.front());
         In.pop_front();
       }
@@ -328,29 +219,29 @@ void Executor::fire(Node &N) {
 //===----------------------------------------------------------------------===//
 
 void Executor::provideInput(const std::vector<double> &Items) {
-  auto &Q = Channels[static_cast<size_t>(ExternalIn)].Q;
+  auto &Q = Channels[static_cast<size_t>(Graph.ExternalIn)].Q;
   for (double V : Items)
     Q.push_back(V);
 }
 
 size_t Executor::outputsProduced() const {
-  if (RootProducesOutput)
-    return Channels[static_cast<size_t>(ExternalOut)].Q.size();
+  if (Graph.RootProducesOutput)
+    return Channels[static_cast<size_t>(Graph.ExternalOut)].Q.size();
   return Printed.size();
 }
 
 std::vector<double> Executor::outputSnapshot() const {
-  const auto &Q = Channels[static_cast<size_t>(ExternalOut)].Q;
+  const auto &Q = Channels[static_cast<size_t>(Graph.ExternalOut)].Q;
   return std::vector<double>(Q.begin(), Q.end());
 }
 
 void Executor::run(size_t NOutputs) {
   while (outputsProduced() < NOutputs) {
     bool AnyFired = false;
-    for (Node &N : Nodes) {
+    for (size_t I = 0; I != Graph.Nodes.size(); ++I) {
       size_t Batch = 0;
-      while (Batch < Opts.BatchLimit && canFire(N)) {
-        fire(N);
+      while (Batch < Opts.BatchLimit && canFire(I)) {
+        fire(I);
         AnyFired = true;
         ++Batch;
       }

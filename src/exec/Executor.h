@@ -1,23 +1,25 @@
-//===- exec/Executor.h - Stream-graph executor ------------------*- C++ -*-===//
+//===- exec/Executor.h - Dynamic stream-graph executor ----------*- C++ -*-===//
 ///
 /// \file
 /// The runtime substitute for the paper's uniprocessor backend + runtime
-/// library (Section 5.1): the hierarchical graph is flattened into filter
-/// nodes, splitter/joiner nodes and FIFO channels, then executed by a
-/// bounded data-driven scheduler — any node whose inputs satisfy its
-/// (init-)peek requirement may fire; channels are capped to bound memory;
-/// a sweep that fires nothing diagnoses a deadlocked (invalid) graph.
+/// library (Section 5.1): the hierarchical graph is flattened (FlatGraph)
+/// into filter nodes, splitter/joiner nodes and FIFO channels, then
+/// executed by a bounded data-driven scheduler — any node whose inputs
+/// satisfy its (init-)peek requirement may fire; channels are capped to
+/// bound memory; a sweep that fires nothing diagnoses a deadlocked
+/// (invalid) graph.
 ///
 /// This executes arbitrary peeking, mismatched rates, init-work firings
 /// with different rates, and feedback loops with enqueued items, without
-/// computing an initialization schedule.
+/// computing an initialization schedule. The batched, statically-scheduled
+/// counterpart is exec/CompiledExecutor.h.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLIN_EXEC_EXECUTOR_H
 #define SLIN_EXEC_EXECUTOR_H
 
-#include "graph/Stream.h"
+#include "exec/FlatGraph.h"
 #include "wir/Interp.h"
 
 #include <deque>
@@ -66,47 +68,37 @@ public:
   /// Total node firings so far (diagnostics).
   uint64_t firings() const { return Firings; }
 
+  /// The derived cap (high-water bound) of channel \p Chan; exposed for
+  /// the channel-cap regression tests.
+  size_t channelCap(int Chan) const {
+    return Channels[static_cast<size_t>(Chan)].Cap;
+  }
+
 private:
   struct Channel {
     std::deque<double> Q;
     size_t Cap = 0; ///< high-water mark (0 until computed)
   };
 
-  enum class NodeKind { Filter, DupSplit, RRSplit, RRJoin };
-
-  struct Node {
-    NodeKind Kind;
-    std::string Name;
-    // Filter nodes:
-    const Filter *F = nullptr;
-    wir::FieldStore State;
+  /// Mutable per-node engine state alongside the FlatGraph topology.
+  struct NodeState {
+    wir::FieldStore Fields;
     std::unique_ptr<NativeFilter> Native;
     bool FiredOnce = false;
-    // Topology: filters use In/Out; splitters use In/Outs(+Weights);
-    // joiners use Ins(+Weights)/Out. -1 means "none".
-    int In = -1;
-    int Out = -1;
-    std::vector<int> Ins;
-    std::vector<int> Outs;
-    std::vector<int> Weights;
   };
 
   class NodeTape;
 
-  int makeChannel();
-  void flatten(const Stream &S, int InChan, int OutChan);
   void computeChannelCaps();
-  bool canFire(const Node &N) const;
-  void fire(Node &N);
-  size_t inputAvailable(const Node &N) const;
+  bool canFire(size_t I) const;
+  void fire(size_t I);
+  size_t inputAvailable(const flat::Node &N) const;
 
   Options Opts;
-  std::vector<Node> Nodes;
+  flat::FlatGraph Graph;
+  std::vector<NodeState> States;
   std::vector<Channel> Channels;
   std::vector<double> Printed;
-  int ExternalIn = -1;
-  int ExternalOut = -1;
-  bool RootProducesOutput = false;
   uint64_t Firings = 0;
 };
 

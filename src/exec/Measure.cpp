@@ -2,19 +2,25 @@
 
 #include "exec/Measure.h"
 
+#include "exec/CompiledExecutor.h"
+
 #include <chrono>
 
 using namespace slin;
 
-Measurement slin::measureSteadyState(const Stream &Root,
-                                     const MeasureOptions &Opts) {
+namespace {
+
+/// The measurement protocol over either engine: both expose the same
+/// run/outputsProduced surface.
+template <class ExecT, class MakeExec>
+Measurement measureWith(const MeasureOptions &Opts, MakeExec Make) {
   Measurement M;
 
   // Counting run: warm up, snapshot, run the measured window, diff. The
-  // greedy scheduler may overshoot a requested output count, so both the
-  // op delta and the output delta are taken from actual progress.
+  // schedulers may overshoot a requested output count, so both the op
+  // delta and the output delta are taken from actual progress.
   {
-    Executor E(Root, Opts.Exec);
+    ExecT E = Make();
     ops::CountingScope Scope;
     ops::reset();
     E.run(Opts.WarmupOutputs);
@@ -27,7 +33,7 @@ Measurement slin::measureSteadyState(const Stream &Root,
 
   // Timing run: identical schedule, counting disabled.
   if (Opts.MeasureTime) {
-    Executor E(Root, Opts.Exec);
+    ExecT E = Make();
     ops::CountingScope Scope(false);
     E.run(Opts.WarmupOutputs);
     size_t OutBefore = E.outputsProduced();
@@ -44,13 +50,34 @@ Measurement slin::measureSteadyState(const Stream &Root,
   return M;
 }
 
-std::vector<double> slin::collectOutputs(const Stream &Root,
-                                         size_t NOutputs) {
+} // namespace
+
+Measurement slin::measureSteadyState(const Stream &Root,
+                                     const MeasureOptions &Opts) {
+  if (Opts.Eng == Engine::Compiled) {
+    CompiledExecutor::Options CO;
+    CO.BatchIterations = Opts.CompiledBatchIterations;
+    return measureWith<CompiledExecutor>(
+        Opts, [&] { return CompiledExecutor(Root, CO); });
+  }
+  return measureWith<Executor>(Opts, [&] { return Executor(Root, Opts.Exec); });
+}
+
+std::vector<double> slin::collectOutputs(const Stream &Root, size_t NOutputs,
+                                         Engine Eng) {
+  auto Finish = [&](const std::vector<double> &Printed,
+                    std::vector<double> Snapshot) {
+    std::vector<double> Out = Printed.empty() ? std::move(Snapshot) : Printed;
+    if (Out.size() > NOutputs)
+      Out.resize(NOutputs);
+    return Out;
+  };
+  if (Eng == Engine::Compiled) {
+    CompiledExecutor E(Root);
+    E.run(NOutputs);
+    return Finish(E.printed(), E.outputSnapshot());
+  }
   Executor E(Root);
   E.run(NOutputs);
-  std::vector<double> Out =
-      E.printed().empty() ? E.outputSnapshot() : E.printed();
-  if (Out.size() > NOutputs)
-    Out.resize(NOutputs);
-  return Out;
+  return Finish(E.printed(), E.outputSnapshot());
 }

@@ -9,11 +9,16 @@
 /// twice — once with op counting enabled, once uncounted under a wall
 /// clock — and both are normalized per program output.
 ///
+/// Measurements can run on either execution engine (exec/Engine.h); both
+/// engines produce identical outputs and identical FLOP counts, so the
+/// engine choice only changes the wall-clock column.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLIN_EXEC_MEASURE_H
 #define SLIN_EXEC_MEASURE_H
 
+#include "exec/Engine.h"
 #include "exec/Executor.h"
 #include "support/OpCounters.h"
 
@@ -39,7 +44,11 @@ struct MeasureOptions {
   size_t WarmupOutputs = 256;
   size_t MeasureOutputs = 2048;
   bool MeasureTime = true; ///< skip the timing run when false
+  Engine Eng = Engine::Dynamic;
   Executor::Options Exec;
+  /// Compiled engine: steady-state iterations fused per batch (kept as a
+  /// plain knob so this header stays light; see CompiledExecutor.h).
+  int CompiledBatchIterations = 16;
 };
 
 /// Measures one configuration of a self-contained (source-driven) graph.
@@ -49,7 +58,8 @@ Measurement measureSteadyState(const Stream &Root,
 /// Runs \p Root until it yields \p NOutputs observable outputs and returns
 /// them (printed values for void->void graphs, external channel items
 /// otherwise). Used by the output-equivalence tests.
-std::vector<double> collectOutputs(const Stream &Root, size_t NOutputs);
+std::vector<double> collectOutputs(const Stream &Root, size_t NOutputs,
+                                   Engine Eng = Engine::Dynamic);
 
 } // namespace slin
 

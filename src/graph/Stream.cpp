@@ -12,6 +12,8 @@ using namespace slin;
 Stream::~Stream() = default;
 NativeFilter::~NativeFilter() = default;
 
+bool NativeFilter::fireBatch(const double *, double *, int) { return false; }
+
 int Splitter::totalWeight() const {
   return std::accumulate(Weights.begin(), Weights.end(), 0);
 }

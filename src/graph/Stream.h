@@ -94,6 +94,15 @@ public:
   /// Executes the first firing; only called when hasInitWork().
   virtual void fireInit(wir::Tape &T) { fire(T); }
 
+  /// Optional batched execution used by the compiled engine: executes
+  /// \p K consecutive steady-state firings against raw channel memory.
+  /// Firing k's peek window starts at In + k*popRate() (so In[k*o + p]
+  /// is its peek(p)); its pushRate() outputs go to Out + k*pushRate().
+  /// Implementations must produce bit-identical results to K calls of
+  /// fire(). Returns false when unsupported (the caller falls back to
+  /// per-firing Tape execution); the default supports nothing.
+  virtual bool fireBatch(const double *In, double *Out, int K);
+
   /// Fresh-state copy.
   virtual std::unique_ptr<NativeFilter> clone() const = 0;
 };

@@ -4,9 +4,35 @@
 
 #include "support/OpCounters.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace slin;
+
+namespace {
+
+/// Counted/uncounted arithmetic, selected at compile time per kernel
+/// instantiation. The uncounted flavours are the ops-free fast path.
+template <bool Counted> inline double kfma(double Acc, double A, double B) {
+  if (Counted)
+    return ops::fma(Acc, A, B);
+  return Acc + A * B;
+}
+template <bool Counted> inline double kadd(double A, double B) {
+  if (Counted)
+    return ops::add(A, B);
+  return A + B;
+}
+
+/// Firings per cache block of the batched paths: windows of one block
+/// stay resident while every output column walks them.
+constexpr int BatchBlock = 32;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// PackedLinearKernel
+//===----------------------------------------------------------------------===//
 
 PackedLinearKernel::PackedLinearKernel(const Matrix &CNat, const Vector &B)
     : PeekRate(static_cast<int>(CNat.rows())), Dense(CNat) {
@@ -28,17 +54,28 @@ PackedLinearKernel::PackedLinearKernel(const Matrix &CNat, const Vector &B)
   }
 }
 
-void PackedLinearKernel::applyBanded(const double *In, double *Out) const {
+template <bool Counted>
+void PackedLinearKernel::bandedImpl(const double *In, double *Out) const {
   for (size_t J = 0, U = Columns.size(); J != U; ++J) {
     const Column &Col = Columns[J];
     double Sum = 0.0;
     const double *Window = In + Col.First;
     for (size_t I = 0, N = Col.Coeffs.size(); I != N; ++I)
-      Sum = ops::fma(Sum, Col.Coeffs[I], Window[I]);
+      Sum = kfma<Counted>(Sum, Col.Coeffs[I], Window[I]);
     if (Col.Offset != 0.0)
-      Sum = ops::add(Sum, Col.Offset);
+      Sum = kadd<Counted>(Sum, Col.Offset);
     Out[J] = Sum;
   }
+}
+
+void PackedLinearKernel::applyBanded(const double *In, double *Out) const {
+#if SLIN_COUNT_OPS
+  if (ops::isCounting()) {
+    bandedImpl<true>(In, Out);
+    return;
+  }
+#endif
+  bandedImpl<false>(In, Out);
 }
 
 void PackedLinearKernel::applyDense(const double *In, double *Out) const {
@@ -53,12 +90,80 @@ void PackedLinearKernel::applyDense(const double *In, double *Out) const {
   }
 }
 
+template <bool Counted>
+void PackedLinearKernel::batchedImpl(const double *In, double *Out, int K,
+                                     int PopStride) const {
+  const int U = static_cast<int>(Columns.size());
+  for (int K0 = 0; K0 < K; K0 += BatchBlock) {
+    int KB = std::min(BatchBlock, K - K0);
+    for (int J = 0; J != U; ++J) {
+      const Column &Col = Columns[J];
+      const double *Coef = Col.Coeffs.data();
+      const int N = static_cast<int>(Col.Coeffs.size());
+      const double *Base = In + Col.First;
+      int KI = 0;
+      // Register tile: four firings share each coefficient load; each
+      // firing's accumulation order matches applyBanded exactly.
+      for (; KI + 4 <= KB; KI += 4) {
+        int G = K0 + KI;
+        const double *W0 = Base + static_cast<size_t>(G + 0) * PopStride;
+        const double *W1 = Base + static_cast<size_t>(G + 1) * PopStride;
+        const double *W2 = Base + static_cast<size_t>(G + 2) * PopStride;
+        const double *W3 = Base + static_cast<size_t>(G + 3) * PopStride;
+        double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+        for (int I = 0; I != N; ++I) {
+          double C = Coef[I];
+          S0 = kfma<Counted>(S0, C, W0[I]);
+          S1 = kfma<Counted>(S1, C, W1[I]);
+          S2 = kfma<Counted>(S2, C, W2[I]);
+          S3 = kfma<Counted>(S3, C, W3[I]);
+        }
+        if (Col.Offset != 0.0) {
+          S0 = kadd<Counted>(S0, Col.Offset);
+          S1 = kadd<Counted>(S1, Col.Offset);
+          S2 = kadd<Counted>(S2, Col.Offset);
+          S3 = kadd<Counted>(S3, Col.Offset);
+        }
+        Out[static_cast<size_t>(G + 0) * U + J] = S0;
+        Out[static_cast<size_t>(G + 1) * U + J] = S1;
+        Out[static_cast<size_t>(G + 2) * U + J] = S2;
+        Out[static_cast<size_t>(G + 3) * U + J] = S3;
+      }
+      for (; KI != KB; ++KI) {
+        int G = K0 + KI;
+        const double *W = Base + static_cast<size_t>(G) * PopStride;
+        double Sum = 0.0;
+        for (int I = 0; I != N; ++I)
+          Sum = kfma<Counted>(Sum, Coef[I], W[I]);
+        if (Col.Offset != 0.0)
+          Sum = kadd<Counted>(Sum, Col.Offset);
+        Out[static_cast<size_t>(G) * U + J] = Sum;
+      }
+    }
+  }
+}
+
+void PackedLinearKernel::applyBatched(const double *In, double *Out, int K,
+                                      int PopStride) const {
+#if SLIN_COUNT_OPS
+  if (ops::isCounting()) {
+    batchedImpl<true>(In, Out, K, PopStride);
+    return;
+  }
+#endif
+  batchedImpl<false>(In, Out, K, PopStride);
+}
+
 size_t PackedLinearKernel::bandedMultiplyCount() const {
   size_t N = 0;
   for (const Column &Col : Columns)
     N += Col.Coeffs.size();
   return N;
 }
+
+//===----------------------------------------------------------------------===//
+// TunedGemv
+//===----------------------------------------------------------------------===//
 
 TunedGemv::TunedGemv(const Matrix &CNat, const Vector &B)
     : E(static_cast<int>(CNat.rows())), U(static_cast<int>(CNat.cols())),
@@ -72,7 +177,8 @@ TunedGemv::TunedGemv(const Matrix &CNat, const Vector &B)
   }
 }
 
-void TunedGemv::apply(const double *In, double *Out) const {
+template <bool Counted>
+void TunedGemv::applyImpl(const double *In, double *Out) const {
   // Interface overhead: stage the input window, as the paper's ATLAS
   // wrapper copied the tape into a contiguous buffer.
   for (int P = 0; P != E; ++P)
@@ -83,16 +189,110 @@ void TunedGemv::apply(const double *In, double *Out) const {
     double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
     int P = 0;
     for (; P + 4 <= E; P += 4) {
-      S0 = ops::fma(S0, Row[P + 0], Staging[P + 0]);
-      S1 = ops::fma(S1, Row[P + 1], Staging[P + 1]);
-      S2 = ops::fma(S2, Row[P + 2], Staging[P + 2]);
-      S3 = ops::fma(S3, Row[P + 3], Staging[P + 3]);
+      S0 = kfma<Counted>(S0, Row[P + 0], Staging[P + 0]);
+      S1 = kfma<Counted>(S1, Row[P + 1], Staging[P + 1]);
+      S2 = kfma<Counted>(S2, Row[P + 2], Staging[P + 2]);
+      S3 = kfma<Counted>(S3, Row[P + 3], Staging[P + 3]);
     }
     for (; P != E; ++P)
-      S0 = ops::fma(S0, Row[P], Staging[P]);
-    double Sum = ops::add(ops::add(S0, S1), ops::add(S2, S3));
+      S0 = kfma<Counted>(S0, Row[P], Staging[P]);
+    double Sum = kadd<Counted>(kadd<Counted>(S0, S1), kadd<Counted>(S2, S3));
     if (Offsets[J] != 0.0)
-      Sum = ops::add(Sum, Offsets[J]);
+      Sum = kadd<Counted>(Sum, Offsets[J]);
     Out[J] = Sum;
   }
+}
+
+void TunedGemv::apply(const double *In, double *Out) const {
+#if SLIN_COUNT_OPS
+  if (ops::isCounting()) {
+    applyImpl<true>(In, Out);
+    return;
+  }
+#endif
+  applyImpl<false>(In, Out);
+}
+
+template <bool Counted>
+void TunedGemv::batchedImpl(const double *In, double *Out, int K,
+                            int PopStride) const {
+  Panel.resize(static_cast<size_t>(BatchBlock) * E);
+  for (int K0 = 0; K0 < K; K0 += BatchBlock) {
+    int KB = std::min(BatchBlock, K - K0);
+    // Gather the block's peek windows into the panel (one row per firing)
+    // — the batched analogue of the per-call staging copy.
+    for (int KI = 0; KI != KB; ++KI) {
+      const double *W =
+          In + static_cast<size_t>(K0 + KI) * PopStride;
+      std::copy(W, W + E, Panel.data() + static_cast<size_t>(KI) * E);
+    }
+    for (int J = 0; J != U; ++J) {
+      const double *Row = RowMajorT.data() + static_cast<size_t>(J) * E;
+      int KI = 0;
+      // Register tile: two firings, each with the sequential path's 4-way
+      // split accumulators, sharing every coefficient load.
+      for (; KI + 2 <= KB; KI += 2) {
+        const double *W0 = Panel.data() + static_cast<size_t>(KI) * E;
+        const double *W1 = W0 + E;
+        double A0 = 0.0, A1 = 0.0, A2 = 0.0, A3 = 0.0;
+        double B0 = 0.0, B1 = 0.0, B2 = 0.0, B3 = 0.0;
+        int P = 0;
+        for (; P + 4 <= E; P += 4) {
+          double C0 = Row[P + 0], C1 = Row[P + 1];
+          double C2 = Row[P + 2], C3 = Row[P + 3];
+          A0 = kfma<Counted>(A0, C0, W0[P + 0]);
+          A1 = kfma<Counted>(A1, C1, W0[P + 1]);
+          A2 = kfma<Counted>(A2, C2, W0[P + 2]);
+          A3 = kfma<Counted>(A3, C3, W0[P + 3]);
+          B0 = kfma<Counted>(B0, C0, W1[P + 0]);
+          B1 = kfma<Counted>(B1, C1, W1[P + 1]);
+          B2 = kfma<Counted>(B2, C2, W1[P + 2]);
+          B3 = kfma<Counted>(B3, C3, W1[P + 3]);
+        }
+        for (; P != E; ++P) {
+          A0 = kfma<Counted>(A0, Row[P], W0[P]);
+          B0 = kfma<Counted>(B0, Row[P], W1[P]);
+        }
+        double Sum0 =
+            kadd<Counted>(kadd<Counted>(A0, A1), kadd<Counted>(A2, A3));
+        double Sum1 =
+            kadd<Counted>(kadd<Counted>(B0, B1), kadd<Counted>(B2, B3));
+        if (Offsets[J] != 0.0) {
+          Sum0 = kadd<Counted>(Sum0, Offsets[J]);
+          Sum1 = kadd<Counted>(Sum1, Offsets[J]);
+        }
+        Out[static_cast<size_t>(K0 + KI + 0) * U + J] = Sum0;
+        Out[static_cast<size_t>(K0 + KI + 1) * U + J] = Sum1;
+      }
+      for (; KI != KB; ++KI) {
+        const double *W = Panel.data() + static_cast<size_t>(KI) * E;
+        double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+        int P = 0;
+        for (; P + 4 <= E; P += 4) {
+          S0 = kfma<Counted>(S0, Row[P + 0], W[P + 0]);
+          S1 = kfma<Counted>(S1, Row[P + 1], W[P + 1]);
+          S2 = kfma<Counted>(S2, Row[P + 2], W[P + 2]);
+          S3 = kfma<Counted>(S3, Row[P + 3], W[P + 3]);
+        }
+        for (; P != E; ++P)
+          S0 = kfma<Counted>(S0, Row[P], W[P]);
+        double Sum =
+            kadd<Counted>(kadd<Counted>(S0, S1), kadd<Counted>(S2, S3));
+        if (Offsets[J] != 0.0)
+          Sum = kadd<Counted>(Sum, Offsets[J]);
+        Out[static_cast<size_t>(K0 + KI) * U + J] = Sum;
+      }
+    }
+  }
+}
+
+void TunedGemv::applyBatched(const double *In, double *Out, int K,
+                             int PopStride) const {
+#if SLIN_COUNT_OPS
+  if (ops::isCounting()) {
+    batchedImpl<true>(In, Out, K, PopStride);
+    return;
+  }
+#endif
+  batchedImpl<false>(In, Out, K, PopStride);
 }

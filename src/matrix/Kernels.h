@@ -1,7 +1,7 @@
 //===- matrix/Kernels.h - Runtime linear-filter kernels --------*- C++ -*-===//
 ///
 /// \file
-/// Runtime matrix-vector kernels backing *linear replacement* (Section 5.2).
+/// Runtime matrix kernels backing *linear replacement* (Section 5.2).
 /// The paper generated two code shapes:
 ///
 ///  * an unrolled expression / "diagonal" (banded) indexed multiply that
@@ -11,8 +11,24 @@
 ///    the buffer-copy interface overhead they measured — our TunedGemv.
 ///
 /// Both kernels operate in *natural* orientation: In[p] holds peek(p), and
-/// Out[j] receives the j'th pushed value. All arithmetic is routed through
-/// the op counters so FLOP measurements include these kernels.
+/// Out[j] receives the j'th pushed value.
+///
+/// On top of the per-firing gemv paths, each kernel has a **batched** path
+/// for the compiled execution engine (exec/CompiledExecutor.h): a linear
+/// node fired K times per batch reads K overlapping peek windows laid out
+/// at a fixed stride (the node's pop rate) in the engine's flat channel
+/// buffer, which turns the K matrix-vector products into one blocked
+/// K x e by e x u matrix multiply. The batched loops are cache-blocked
+/// over firings and register-tiled several firings wide (each coefficient
+/// load is reused across the tile — the "let the tuned kernel see a
+/// bigger matrix" move of the paper's ATLAS experiment, Section 5.4).
+/// Per-firing accumulation order is identical to the sequential paths, so
+/// batched and per-firing execution produce bit-identical outputs.
+///
+/// Every kernel selects between a counted loop (arithmetic routed through
+/// the op counters, for the paper's FLOP taxonomy tables) and an ops-free
+/// fast path, chosen at runtime by ops::isCounting() and reducible at
+/// compile time with SLIN_COUNT_OPS=0 (support/OpCounters.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,10 +67,20 @@ public:
   /// the naive generated code before the zero-skipping optimization.
   void applyDense(const double *In, double *Out) const;
 
+  /// Batched banded multiply: K consecutive firings whose peek windows
+  /// advance by \p PopStride items (window k starts at In + k*PopStride);
+  /// the k'th firing's outputs go to Out + k*pushRate(). Bit-identical to
+  /// K calls of applyBanded.
+  void applyBatched(const double *In, double *Out, int K, int PopStride) const;
+
   /// Total multiplies performed by one banded application.
   size_t bandedMultiplyCount() const;
 
 private:
+  template <bool Counted> void bandedImpl(const double *In, double *Out) const;
+  template <bool Counted>
+  void batchedImpl(const double *In, double *Out, int K, int PopStride) const;
+
   int PeekRate;
   Matrix Dense; ///< kept for applyDense
   std::vector<Column> Columns;
@@ -67,7 +93,10 @@ private:
 /// ATLAS interface, each application first copies the input window into a
 /// staging buffer (this is the interface overhead Section 5.4 blames for
 /// the mixed results) and performs a *dense* multiply: it cannot exploit
-/// the zero bands the banded kernel skips.
+/// the zero bands the banded kernel skips. The batched path gathers a
+/// block of K peek windows into an input panel and runs one blocked gemm
+/// over it, amortizing the staging copy the way a real ATLAS dgemm call
+/// would.
 class TunedGemv {
 public:
   TunedGemv(const Matrix &CNat, const Vector &B);
@@ -77,12 +106,21 @@ public:
 
   void apply(const double *In, double *Out) const;
 
+  /// Batched gemm over K windows at stride \p PopStride; bit-identical to
+  /// K calls of apply.
+  void applyBatched(const double *In, double *Out, int K, int PopStride) const;
+
 private:
+  template <bool Counted> void applyImpl(const double *In, double *Out) const;
+  template <bool Counted>
+  void batchedImpl(const double *In, double *Out, int K, int PopStride) const;
+
   int E;
   int U;
   std::vector<double> RowMajorT; ///< U x E, row j = coefficients of output j
   std::vector<double> Offsets;
   mutable std::vector<double> Staging; ///< interface copy buffer
+  mutable std::vector<double> Panel;   ///< batched-path gather panel
 };
 
 } // namespace slin

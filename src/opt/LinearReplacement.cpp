@@ -131,6 +131,11 @@ public:
       T.pop();
   }
 
+  bool fireBatch(const double *BatchIn, double *BatchOut, int K) override {
+    Kernel.applyBatched(BatchIn, BatchOut, K, O);
+    return true;
+  }
+
   std::unique_ptr<NativeFilter> clone() const override {
     return std::make_unique<TunedLinearFilter>(*this);
   }
@@ -138,6 +143,44 @@ public:
 private:
   int E, O, U;
   TunedGemv Kernel;
+  std::vector<double> In;
+  std::vector<double> Out;
+};
+
+/// Banded packed kernel as a native filter: the Figure 5-7 zero-skipping
+/// multiply, with a batched blocked-gemm path for the compiled engine.
+class PackedLinearFilter : public NativeFilter {
+public:
+  explicit PackedLinearFilter(const LinearNode &N)
+      : E(N.peekRate()), O(N.popRate()), U(N.pushRate()),
+        Kernel(N.naturalMatrix(), N.naturalOffsets()), In(E), Out(U) {}
+
+  int peekRate() const override { return E; }
+  int popRate() const override { return O; }
+  int pushRate() const override { return U; }
+
+  void fire(wir::Tape &T) override {
+    for (int P = 0; P != E; ++P)
+      In[static_cast<size_t>(P)] = T.peek(P);
+    Kernel.applyBanded(In.data(), Out.data());
+    for (int J = 0; J != U; ++J)
+      T.push(Out[static_cast<size_t>(J)]);
+    for (int P = 0; P != O; ++P)
+      T.pop();
+  }
+
+  bool fireBatch(const double *BatchIn, double *BatchOut, int K) override {
+    Kernel.applyBatched(BatchIn, BatchOut, K, O);
+    return true;
+  }
+
+  std::unique_ptr<NativeFilter> clone() const override {
+    return std::make_unique<PackedLinearFilter>(*this);
+  }
+
+private:
+  int E, O, U;
+  PackedLinearKernel Kernel;
   std::vector<double> In;
   std::vector<double> Out;
 };
@@ -178,6 +221,9 @@ std::unique_ptr<Filter> slin::makeLinearFilter(const LinearNode &N,
   case LinearCodeGenStyle::TunedNative:
     return std::make_unique<Filter>(Name,
                                     std::make_unique<TunedLinearFilter>(N));
+  case LinearCodeGenStyle::PackedNative:
+    return std::make_unique<Filter>(Name,
+                                    std::make_unique<PackedLinearFilter>(N));
   case LinearCodeGenStyle::Auto:
     break;
   }

@@ -25,10 +25,15 @@
 namespace slin {
 
 enum class LinearCodeGenStyle {
-  Auto,       ///< Unrolled below 256 operations, Banded above (paper)
+  Auto,        ///< Unrolled below 256 operations, Banded above (paper)
   Unrolled,
   Banded,
-  TunedNative ///< ATLAS-substitute gemv call-out
+  TunedNative, ///< ATLAS-substitute gemv call-out
+  /// Native filter over the banded packed kernel. Same zero-skipping
+  /// arithmetic as Banded, but implemented in C++ with a batched blocked
+  /// gemm path the compiled engine uses to fuse a whole batch of firings
+  /// into one matrix multiply (matrix/Kernels.h).
+  PackedNative
 };
 
 /// Multiplications one firing of the generated direct implementation

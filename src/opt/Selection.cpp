@@ -53,14 +53,19 @@ double CostModel::frequencyCost(const LinearNode &N) const {
   return 185.0 + 2.0 * U + U * std::log(14.0 * E) * O + Dec;
 }
 
+MeasuredCostModel::MeasuredCostModel(Engine Eng)
+    // Tree interpreter: ~12 "ops" of tape overhead per item moved and ~2
+    // per inner-loop multiply. The compiled engine's op tapes and batched
+    // kernels measure at roughly a quarter of both.
+    : PerItem(Eng == Engine::Compiled ? 3.0 : 12.0),
+      PerMult(Eng == Engine::Compiled ? 1.0 : 2.0) {}
+
 double MeasuredCostModel::directCost(const LinearNode &N,
                                      bool SelectionOnly) const {
   if (SelectionOnly)
     return 0.0;
-  // Our interpreter: one fma per nonzero coefficient plus per-item tape
-  // overhead of roughly 12 "ops".
-  return 12.0 * (N.popRate() + N.pushRate()) +
-         2.0 * static_cast<double>(directMultiplyCount(N));
+  return PerItem * (N.popRate() + N.pushRate()) +
+         PerMult * static_cast<double>(directMultiplyCount(N));
 }
 
 double MeasuredCostModel::frequencyCost(const LinearNode &N) const {
@@ -71,10 +76,10 @@ double MeasuredCostModel::frequencyCost(const LinearNode &N) const {
   double M = NFFT - 2.0 * E + 1.0;
   double R = M + E - 1.0;
   double PerFiring = (1.0 + U) * NFFT * std::log2(NFFT) + 2.0 * U * NFFT +
-                     12.0 * (R + U * R);
+                     PerItem * (R + U * R);
   // Outputs per firing: u*r (optimized); one node firing covers r inputs
   // while the original covers o — normalize to one original firing.
-  double Decim = N.popRate() > 1 ? 12.0 * U * N.popRate() : 0.0;
+  double Decim = N.popRate() > 1 ? PerItem * U * N.popRate() : 0.0;
   return PerFiring * (static_cast<double>(N.popRate()) / R) + Decim;
 }
 

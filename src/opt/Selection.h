@@ -24,6 +24,7 @@
 #ifndef SLIN_OPT_SELECTION_H
 #define SLIN_OPT_SELECTION_H
 
+#include "exec/Engine.h"
 #include "graph/Stream.h"
 #include "linear/Analysis.h"
 #include "opt/Frequency.h"
@@ -50,11 +51,21 @@ public:
 };
 
 /// Alternative model calibrated on our runtime's operation counts rather
-/// than the paper's P4 constants ("guided by profiler feedback").
+/// than the paper's P4 constants ("guided by profiler feedback"). The
+/// per-item overhead constant depends on the execution engine: the
+/// compiled engine's op tapes and batched kernels cut the per-item tape
+/// overhead to a fraction of the tree interpreter's, which shifts the
+/// time/frequency break-even points the selection DP computes.
 class MeasuredCostModel : public CostModel {
 public:
+  explicit MeasuredCostModel(Engine Eng = Engine::Dynamic);
+
   double directCost(const LinearNode &N, bool SelectionOnly) const override;
   double frequencyCost(const LinearNode &N) const override;
+
+private:
+  double PerItem; ///< per pushed/popped item runtime overhead, in "ops"
+  double PerMult; ///< cost of one inner-loop multiply-accumulate
 };
 
 struct SelectionOptions {

@@ -131,6 +131,34 @@ std::vector<int64_t> splitJoinRepetitions(const SplitJoin &SJ) {
         fatalError("splitjoin '" + SJ.name() +
                    "': joiner weight for non-producing child");
   }
+
+  // The minimal vector balances the children against each other, but a
+  // steady state must also run the splitter and joiner for a whole
+  // number of cycles. Weight vectors that are unreduced multiples of the
+  // per-repetition flows (the selection DP's vertical-cut wrappers build
+  // these) reduce to child repetitions implying fractional cycles; scale
+  // back up by the implied cycle-count denominators.
+  int64_t Scale = 1;
+  if (Split.Kind == Splitter::RoundRobin) {
+    for (size_t K = 0; K != N; ++K) {
+      if (Split.Weights[K] == 0)
+        continue;
+      // Equal across children (verified above); one representative.
+      Rational Cycles(Rates[K].Pop * Ints[K], Split.Weights[K]);
+      Scale = lcm64(Scale, Cycles.den());
+      break;
+    }
+  }
+  for (size_t K = 0; K != N; ++K) {
+    if (Join.Weights[K] == 0 || Rates[K].Push == 0)
+      continue;
+    Rational Cycles(Rates[K].Push * Ints[K], Join.Weights[K]);
+    Scale = lcm64(Scale, Cycles.den());
+    break;
+  }
+  if (Scale > 1)
+    for (int64_t &V : Ints)
+      V *= Scale;
   return Ints;
 }
 

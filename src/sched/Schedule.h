@@ -1,0 +1,101 @@
+//===- sched/Schedule.h - Static steady-state firing programs ---*- C++ -*-===//
+///
+/// \file
+/// Static scheduling of a flattened stream graph for the compiled,
+/// batched execution engine (exec/CompiledExecutor.h). Extends the
+/// balance-equation solver of Rates.h from the hierarchical graph to the
+/// flat node graph and turns its solution into *firing programs*:
+///
+///  * an initialization program that executes init-work firings and primes
+///    the channels of peeking consumers (leaving >= peek - pop leftover
+///    items on each such channel), computed as a fixpoint over channel
+///    demands downstream-to-upstream;
+///  * a steady program executing exactly one steady state, and a batch
+///    program executing B steady states, both derived by greedy symbolic
+///    simulation (fire every ready node as many times as its remaining
+///    repetition count and input allow) — replacing the dynamic engine's
+///    per-sweep readiness scan with a precomputed sequence of
+///    (node, count) steps whose long runs are what the batched matrix
+///    kernels feed on;
+///  * exact per-channel high-water marks and flat-buffer capacities, so
+///    the compiled engine can allocate fixed ring buffers up front.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SCHED_SCHEDULE_H
+#define SLIN_SCHED_SCHEDULE_H
+
+#include "exec/FlatGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace slin {
+
+/// One step of a firing program: fire node \p Node \p Count times
+/// consecutively.
+struct FiringStep {
+  int Node = 0;
+  int64_t Count = 0;
+};
+
+using FiringProgram = std::vector<FiringStep>;
+
+/// A complete static schedule for a flattened graph.
+struct StaticSchedule {
+  /// Steady-state repetitions per node (minimal positive integers).
+  std::vector<int64_t> Repetitions;
+
+  /// Firings per node in the initialization phase (init-work firings plus
+  /// priming for peeking consumers).
+  std::vector<int64_t> InitFirings;
+
+  /// Executed once before any steady iteration. May be empty.
+  FiringProgram InitProgram;
+
+  /// Executes exactly one steady state (used for tail iterations when the
+  /// external input cannot cover a full batch).
+  FiringProgram SteadyProgram;
+
+  /// Executes BatchIterations steady states.
+  FiringProgram BatchProgram;
+  int BatchIterations = 1;
+
+  /// Exact maximum number of items simultaneously live on each channel
+  /// across the init program and any run of batch/steady programs.
+  std::vector<int64_t> ChannelHighWater;
+
+  /// Flat-buffer capacity per channel: live items at a program start plus
+  /// all items appended during one program run (the compiled engine
+  /// compacts buffers between program runs, so positions never exceed
+  /// this). External channels are excluded (the engine grows them).
+  std::vector<int64_t> ChannelBufSize;
+
+  /// Items live on each channel after the init program (and after every
+  /// subsequent steady/batch program run).
+  std::vector<int64_t> PostInitLive;
+
+  /// External input items required / consumed.
+  int64_t InitExternalPops = 0;    ///< consumed by the init program
+  int64_t InitExternalNeed = 0;    ///< required present before init
+  int64_t SteadyExternalPops = 0;  ///< consumed by one steady state
+  int64_t SteadyExternalNeed = 0;  ///< required present before a steady run
+  int64_t BatchExternalPops = 0;
+  int64_t BatchExternalNeed = 0;
+
+  /// Items pushed to the external output channel.
+  int64_t InitExternalPushes = 0;
+  int64_t SteadyExternalPushes = 0;
+  int64_t BatchExternalPushes = 0;
+};
+
+/// Computes the static schedule of \p G with \p BatchIterations steady
+/// states per batch program. Reports a fatal error for graphs without a
+/// valid steady state or whose initialization cannot be scheduled
+/// (deadlocked feedback loops).
+StaticSchedule computeSchedule(const flat::FlatGraph &G,
+                               int BatchIterations = 16);
+
+} // namespace slin
+
+#endif // SLIN_SCHED_SCHEDULE_H

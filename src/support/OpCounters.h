@@ -25,6 +25,18 @@
 #include <cmath>
 #include <cstdint>
 
+/// Compile-time kill switch for the accounting layer (cmake
+/// -DSLIN_COUNT_OPS=OFF). When 0, the counted helpers below compile to
+/// raw arithmetic, isCounting() is constant-false, and the batched
+/// kernels / op-tape dispatch loops drop their counted paths entirely.
+/// The default build keeps accounting available; timing runs still avoid
+/// its cost at runtime because every hot loop selects an ops-free fast
+/// path whenever isCounting() is false (see wir/OpTape.cpp and
+/// matrix/Kernels.cpp).
+#ifndef SLIN_COUNT_OPS
+#define SLIN_COUNT_OPS 1
+#endif
+
 namespace slin {
 
 /// A snapshot of executed floating-point operation counts.
@@ -61,7 +73,13 @@ extern thread_local bool Enabled;
 extern thread_local OpCounts Counts;
 } // namespace detail
 
-inline bool isCounting() { return detail::Enabled; }
+inline bool isCounting() {
+#if SLIN_COUNT_OPS
+  return detail::Enabled;
+#else
+  return false;
+#endif
+}
 inline const OpCounts &counts() { return detail::Counts; }
 
 /// RAII scope that enables counting and restores the previous state.
@@ -82,46 +100,46 @@ private:
 void reset();
 
 inline double add(double A, double B) {
-  if (detail::Enabled)
+  if (SLIN_COUNT_OPS && detail::Enabled)
     ++detail::Counts.Adds;
   return A + B;
 }
 inline double sub(double A, double B) {
-  if (detail::Enabled)
+  if (SLIN_COUNT_OPS && detail::Enabled)
     ++detail::Counts.Subs;
   return A - B;
 }
 inline double mul(double A, double B) {
-  if (detail::Enabled)
+  if (SLIN_COUNT_OPS && detail::Enabled)
     ++detail::Counts.Muls;
   return A * B;
 }
 inline double div(double A, double B) {
-  if (detail::Enabled)
+  if (SLIN_COUNT_OPS && detail::Enabled)
     ++detail::Counts.Divs;
   return A / B;
 }
 /// Floating remainder (the FPREM family; counted with the divides).
 inline double mod(double A, double B) {
-  if (detail::Enabled)
+  if (SLIN_COUNT_OPS && detail::Enabled)
     ++detail::Counts.Divs;
   return std::fmod(A, B);
 }
 inline bool cmp(bool Result) {
-  if (detail::Enabled)
+  if (SLIN_COUNT_OPS && detail::Enabled)
     ++detail::Counts.Cmps;
   return Result;
 }
 /// Counts one transcendental evaluation and returns \p Result.
 inline double trans(double Result) {
-  if (detail::Enabled)
+  if (SLIN_COUNT_OPS && detail::Enabled)
     ++detail::Counts.Trans;
   return Result;
 }
 
 /// Fused helper for the ubiquitous multiply-accumulate.
 inline double fma(double Acc, double A, double B) {
-  if (detail::Enabled) {
+  if (SLIN_COUNT_OPS && detail::Enabled) {
     ++detail::Counts.Muls;
     ++detail::Counts.Adds;
   }

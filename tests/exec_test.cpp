@@ -78,6 +78,35 @@ TEST(Sched, FeedbackLoopRates) {
   EXPECT_EQ(R.Push, 1);
 }
 
+TEST(Sched, SplitJoinWholeCycleAlignment) {
+  // Weights that are unreduced multiples of the per-repetition flows
+  // (as built by the selection DP's vertical cuts): the child balance
+  // reduces to {1, 1}, but one splitter/joiner cycle needs two firings
+  // of each child. Repetitions must scale so cycles stay integral.
+  using namespace slin::wir;
+  using namespace slin::wir::build;
+  auto MakeChild = [](const std::string &Name) {
+    // pop 8 push 2: sums four pairs.
+    StmtList Body;
+    for (int J = 0; J != 2; ++J)
+      Body.push_back(push(add(add(peek(4 * J), peek(4 * J + 1)),
+                              add(peek(4 * J + 2), peek(4 * J + 3)))));
+    for (int P = 0; P != 8; ++P)
+      Body.push_back(popStmt());
+    return std::make_unique<Filter>(Name, std::vector<FieldDef>{},
+                                    WorkFunction(8, 8, 2, std::move(Body)));
+  };
+  SplitJoin SJ("vcutlike", Splitter::roundRobin({16, 16}),
+               Joiner::roundRobin({4, 4}));
+  SJ.add(MakeChild("a"));
+  SJ.add(MakeChild("b"));
+  auto Reps = childRepetitions(SJ);
+  EXPECT_EQ(Reps, (std::vector<int64_t>{2, 2}));
+  RateSignature R = computeRates(SJ);
+  EXPECT_EQ(R.Pop, 32);
+  EXPECT_EQ(R.Push, 8);
+}
+
 TEST(SchedDeath, UnbalancedFeedbackLoopIsFatal) {
   // Adder(2) pushes one item per firing but the splitter must send one
   // item per cycle to the loop AND one downstream: inconsistent.
@@ -173,6 +202,77 @@ TEST(Exec, DeadlockIsFatal) {
   Executor E(*F);
   E.provideInput({1, 2});
   EXPECT_DEATH(E.run(1), "deadlock");
+}
+
+TEST(Exec, BatchLimitOneStillCorrect) {
+  // BatchLimit = 1 forces strict round-robin sweeps; outputs must not
+  // change, only the firing interleaving.
+  Pipeline P("p");
+  P.add(makeCountingSource());
+  P.add(makeFIR({1, 2, 3}));
+  P.add(makePrinterSink());
+  Executor::Options O;
+  O.BatchLimit = 1;
+  Executor E(P, O);
+  E.run(4);
+  ASSERT_GE(E.printed().size(), 4u);
+  for (int K = 0; K != 4; ++K)
+    EXPECT_DOUBLE_EQ(E.printed()[static_cast<size_t>(K)], 6.0 * K + 8.0);
+}
+
+TEST(Exec, ChannelCapDerivation) {
+  // A channel's cap is derived from its consumer's peek requirement:
+  // max(MinChannelCap, 2 * need), clamped to ChannelCap.
+  auto F = makeFIR({1, 2, 3, 4, 5, 6, 7, 8}); // peek 8
+  {
+    Executor::Options O;
+    O.MinChannelCap = 4;
+    Executor E(*F, O);
+    EXPECT_EQ(E.channelCap(0), 16u); // external input channel: 2 * 8
+  }
+  {
+    Executor::Options O;
+    O.MinChannelCap = 4;
+    O.ChannelCap = 10;
+    Executor E(*F, O);
+    EXPECT_EQ(E.channelCap(0), 10u); // clamped to the global cap
+  }
+  {
+    Executor::Options O;
+    O.MinChannelCap = 64;
+    Executor E(*F, O);
+    EXPECT_EQ(E.channelCap(0), 64u); // floor at MinChannelCap
+  }
+}
+
+TEST(ExecDeath, SweepThatFiresNothingDiagnosesDeadlock) {
+  // A feedback loop with no enqueued items passes rate analysis but can
+  // never start: the very first sweep fires nothing and must be
+  // diagnosed as a deadlock rather than spinning.
+  auto FB = std::make_unique<FeedbackLoop>(
+      "fb", Joiner::roundRobin({1, 1}), makeSumDiffFilter(), makeIdentity(),
+      Splitter::roundRobin({1, 1}), std::vector<double>{});
+  Executor E(*FB);
+  E.provideInput({1, 2, 3, 4});
+  EXPECT_DEATH(E.run(1), "deadlocked: no node can fire");
+}
+
+TEST(Exec, TinyChannelCapStillMakesProgress) {
+  // Even with the smallest possible caps the bounded scheduler must
+  // deliver correct output (producers stall until consumers drain).
+  Pipeline P("p");
+  P.add(makeCountingSource());
+  P.add(makeGain(2));
+  P.add(makePrinterSink());
+  Executor::Options O;
+  O.MinChannelCap = 1;
+  O.ChannelCap = 2;
+  O.BatchLimit = 3;
+  Executor E(P, O);
+  E.run(16);
+  ASSERT_GE(E.printed().size(), 16u);
+  for (int K = 0; K != 16; ++K)
+    EXPECT_DOUBLE_EQ(E.printed()[static_cast<size_t>(K)], 2.0 * K);
 }
 
 TEST(Measure, FIRFlopsPerOutput) {
