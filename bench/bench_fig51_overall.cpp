@@ -135,5 +135,15 @@ int main() {
     std::printf("%-14s %9.2fx %9.2fx %9.2fx %9.2fx\n", R.Name.c_str(),
                 Ratio(R.Base, R.BaseC), Ratio(R.Linear, R.LinearC),
                 Ratio(R.Freq, R.FreqC), Ratio(R.AutoSel, R.AutoSelC));
+
+  // Artifact reuse across the harness: every configuration above ran the
+  // full compiler pipeline (analysis, transform, lowering). Rerun with
+  // SLIN_NO_CACHE=1 to compare against cold compiles every time.
+  std::printf("\ncompiler pipeline time across the harness: %.3f s "
+              "(analysis/program caches %s)\n",
+              compileSecondsTotal(), cachesDisabled() ? "OFF" : "ON");
+  Report.add("harness_compile_total", Engine::Dynamic,
+             {{"seconds", compileSecondsTotal()},
+              {"caches_enabled", cachesDisabled() ? 0.0 : 1.0}});
   return 0;
 }

@@ -51,7 +51,7 @@ int main() {
   // The compiled engine's counted path must reproduce the interpreter's
   // taxonomy exactly (its op tapes tag uncounted index arithmetic the
   // same way); print it so drift is visible.
-  MO.Eng = Engine::Compiled;
+  MO.Exec.Eng = Engine::Compiled;
   Measurement MC = measureSteadyState(*Root, MO);
   std::printf("\nsame window on the compiled engine (must match):\n");
   printRule(40);

@@ -1,0 +1,130 @@
+//===- compiler/AnalysisManager.cpp - Hash-consed analysis cache -------------==//
+
+#include "compiler/AnalysisManager.h"
+
+#include "linear/Analysis.h"
+
+using namespace slin;
+
+AnalysisManager &AnalysisManager::global() {
+  static AnalysisManager AM;
+  return AM;
+}
+
+std::shared_ptr<const ExtractionResult>
+AnalysisManager::extraction(const Filter &F) {
+  if (!enabled())
+    return std::make_shared<ExtractionResult>(extractLinearNode(F));
+  HashDigest Key = structuralHash(F);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Extractions.find(Key);
+    if (It != Extractions.end()) {
+      ++Counters.ExtractionHits;
+      return It->second;
+    }
+  }
+  // Extraction runs outside the lock (it can be expensive); a racing
+  // duplicate insert is harmless — both computed the same pure value.
+  auto R = std::make_shared<const ExtractionResult>(extractLinearNode(F));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Counters.ExtractionMisses;
+  return Extractions.emplace(Key, std::move(R)).first->second;
+}
+
+std::shared_ptr<const std::optional<LinearNode>>
+AnalysisManager::combinePipeline(const LinearNode &First,
+                                 const LinearNode &Second,
+                                 size_t MaxElements) {
+  if (!enabled())
+    return std::make_shared<std::optional<LinearNode>>(
+        tryCombinePipeline(First, Second, MaxElements));
+  HashDigest Key;
+  {
+    HashStream HS;
+    HS.mix(0xc011);
+    HashDigest A = linearNodeHash(First), B = linearNodeHash(Second);
+    HS.mix(A.Lo);
+    HS.mix(A.Hi);
+    HS.mix(B.Lo);
+    HS.mix(B.Hi);
+    HS.mix(MaxElements);
+    Key = HS.digest();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Combinations.find(Key);
+    if (It != Combinations.end()) {
+      ++Counters.CombineHits;
+      return It->second;
+    }
+  }
+  auto R = std::make_shared<const std::optional<LinearNode>>(
+      tryCombinePipeline(First, Second, MaxElements));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Counters.CombineMisses;
+  return Combinations.emplace(Key, std::move(R)).first->second;
+}
+
+std::shared_ptr<const std::optional<LinearNode>>
+AnalysisManager::combineSplitJoin(const std::vector<LinearNode> &Children,
+                                  bool Duplicate,
+                                  const std::vector<int> &SplitWeights,
+                                  const std::vector<int> &JoinWeights,
+                                  size_t MaxElements) {
+  if (!enabled())
+    return std::make_shared<std::optional<LinearNode>>(tryCombineSplitJoin(
+        Children, Duplicate, SplitWeights, JoinWeights, MaxElements));
+  HashStream HS;
+  HS.mix(0x51113);
+  HS.mix(Children.size());
+  for (const LinearNode &C : Children) {
+    HashDigest D = linearNodeHash(C);
+    HS.mix(D.Lo);
+    HS.mix(D.Hi);
+  }
+  HS.mix(Duplicate ? 1 : 0);
+  HS.mix(SplitWeights.size());
+  for (int W : SplitWeights)
+    HS.mixInt(W);
+  HS.mix(JoinWeights.size());
+  for (int W : JoinWeights)
+    HS.mixInt(W);
+  HS.mix(MaxElements);
+  HashDigest Key = HS.digest();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Combinations.find(Key);
+    if (It != Combinations.end()) {
+      ++Counters.CombineHits;
+      return It->second;
+    }
+  }
+  auto R = std::make_shared<const std::optional<LinearNode>>(
+      tryCombineSplitJoin(Children, Duplicate, SplitWeights, JoinWeights,
+                          MaxElements));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Counters.CombineMisses;
+  return Combinations.emplace(Key, std::move(R)).first->second;
+}
+
+void AnalysisManager::invalidate() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Extractions.clear();
+  Combinations.clear();
+}
+
+void AnalysisManager::setEnabled(bool E) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Enabled = E;
+}
+
+bool AnalysisManager::enabled() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Enabled;
+}
+
+AnalysisManager::Stats AnalysisManager::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}

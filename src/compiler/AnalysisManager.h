@@ -1,0 +1,87 @@
+//===- compiler/AnalysisManager.h - Hash-consed analysis cache --*- C++ -*-===//
+///
+/// \file
+/// The memoization layer of the compiler pipeline: linear extraction and
+/// the Section 3.3 combination transformations are pure functions of
+/// their inputs' structure, so their results are hash-consed under
+/// content digests (compiler/StructuralHash.h) and shared by every
+/// client — `LinearAnalysis`, the optimization-selection DP, and all
+/// replacement passes — across independent `optimize()` calls. The
+/// compositional view of stream analysis (pipeline/splitjoin combination
+/// is associative algebra over linear nodes) is exactly what makes these
+/// intermediate facts safe to reuse: a digest determines the result.
+///
+/// Rewrites need no explicit invalidation to stay correct — a rewritten
+/// subtree hashes differently, so stale entries are simply never hit —
+/// but `invalidate()` drops all entries (memory pressure, tests), and
+/// `setEnabled(false)` turns an instance into a pass-through for
+/// cache-on/off differential testing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_COMPILER_ANALYSISMANAGER_H
+#define SLIN_COMPILER_ANALYSISMANAGER_H
+
+#include "compiler/StructuralHash.h"
+#include "linear/Extract.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace slin {
+
+class AnalysisManager {
+public:
+  AnalysisManager() = default;
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+  /// The process-wide cache used whenever a client does not supply its
+  /// own instance.
+  static AnalysisManager &global();
+
+  /// Memoized extractLinearNode, keyed by \p F's structural hash.
+  std::shared_ptr<const ExtractionResult> extraction(const Filter &F);
+
+  /// Memoized tryCombinePipeline (size-guarded; a cached nullopt records
+  /// "combination infeasible / too large" just as firmly as a node).
+  std::shared_ptr<const std::optional<LinearNode>>
+  combinePipeline(const LinearNode &First, const LinearNode &Second,
+                  size_t MaxElements);
+
+  /// Memoized tryCombineSplitJoin.
+  std::shared_ptr<const std::optional<LinearNode>>
+  combineSplitJoin(const std::vector<LinearNode> &Children, bool Duplicate,
+                   const std::vector<int> &SplitWeights,
+                   const std::vector<int> &JoinWeights, size_t MaxElements);
+
+  /// Drops every cached entry.
+  void invalidate();
+
+  /// A disabled manager recomputes everything (for differential tests).
+  void setEnabled(bool E);
+  bool enabled() const;
+
+  struct Stats {
+    uint64_t ExtractionHits = 0;
+    uint64_t ExtractionMisses = 0;
+    uint64_t CombineHits = 0;
+    uint64_t CombineMisses = 0;
+  };
+  Stats stats() const;
+
+private:
+  mutable std::mutex Mutex;
+  bool Enabled = true;
+  Stats Counters;
+  std::map<HashDigest, std::shared_ptr<const ExtractionResult>> Extractions;
+  std::map<HashDigest, std::shared_ptr<const std::optional<LinearNode>>>
+      Combinations;
+};
+
+} // namespace slin
+
+#endif // SLIN_COMPILER_ANALYSISMANAGER_H

@@ -1,0 +1,179 @@
+//===- compiler/Pipeline.cpp - The compiler pipeline --------------------------==//
+
+#include "compiler/Pipeline.h"
+
+#include "compiler/AnalysisManager.h"
+#include "graph/Export.h"
+#include "linear/Analysis.h"
+#include "opt/Redundancy.h"
+#include "opt/Selection.h"
+#include "support/Diag.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace slin;
+
+const char *slin::optModeName(OptMode M) {
+  switch (M) {
+  case OptMode::Base:
+    return "base";
+  case OptMode::Linear:
+    return "linear";
+  case OptMode::Freq:
+    return "freq";
+  case OptMode::Redundancy:
+    return "redundancy";
+  case OptMode::AutoSel:
+    return "autosel";
+  }
+  unreachable("unknown optimization mode");
+}
+
+double CompileResult::totalSeconds() const {
+  double T = 0.0;
+  for (const PassInfo &P : Passes)
+    T += P.Seconds;
+  return T;
+}
+
+std::string CompileResult::timingReport() const {
+  std::string Out;
+  char Buf[160];
+  for (const PassInfo &P : Passes) {
+    std::snprintf(Buf, sizeof(Buf), "%-22s %9.3f ms  %s\n", P.Name.c_str(),
+                  P.Seconds * 1e3, P.Note.c_str());
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%-22s %9.3f ms\n", "total",
+                totalSeconds() * 1e3);
+  Out += Buf;
+  return Out;
+}
+
+namespace {
+
+/// Runs one pass body under the wall clock and records it.
+template <class Fn>
+auto runPass(CompileResult &R, const std::string &Name, Fn &&Body)
+    -> decltype(Body()) {
+  auto Start = std::chrono::steady_clock::now();
+  auto Value = Body();
+  double Secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  R.Passes.push_back({Name, Secs, std::string()});
+  return Value;
+}
+
+void dumpAfterPass(const PipelineOptions &Opts, size_t Index,
+                   const std::string &Pass, const Stream &S) {
+  if (Opts.DumpDir.empty())
+    return;
+  char Prefix[32];
+  std::snprintf(Prefix, sizeof(Prefix), "%02zu-", Index);
+  std::string Base = Opts.DumpDir + "/" + Prefix + Pass;
+  writeTextFile(Base + ".dot", streamToDot(S));
+  writeTextFile(Base + ".json", streamToJson(S));
+}
+
+std::string analysisNote(const LinearAnalysis &LA) {
+  LinearAnalysis::Stats St = LA.stats();
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%d/%d filters linear",
+                St.LinearFilters, St.Filters);
+  return Buf;
+}
+
+} // namespace
+
+CompileResult CompilerPipeline::compile(const Stream &Root) const {
+  CompileResult R;
+  AnalysisManager *AM = Opts.AM ? Opts.AM : &AnalysisManager::global();
+
+  // --- Transformation passes --------------------------------------------
+  switch (Opts.Mode) {
+  case OptMode::Base:
+    R.Optimized = runPass(R, "clone", [&] { return Root.clone(); });
+    break;
+  case OptMode::Linear:
+  case OptMode::Freq:
+  case OptMode::Redundancy: {
+    LinearAnalysis::Options LO;
+    LO.AM = AM;
+    auto LA = runPass(R, "linear-analysis", [&] {
+      return std::make_unique<LinearAnalysis>(Root, LO);
+    });
+    R.Passes.back().Note = analysisNote(*LA);
+    if (Opts.Mode == OptMode::Linear)
+      R.Optimized = runPass(R, "linear-replacement", [&] {
+        return replaceLinear(Root, *LA, Opts.Combine, Opts.CodeGen);
+      });
+    else if (Opts.Mode == OptMode::Freq)
+      R.Optimized = runPass(R, "frequency-replacement", [&] {
+        return replaceFrequency(Root, *LA, Opts.Combine, Opts.Freq);
+      });
+    else
+      R.Optimized = runPass(R, "redundancy-replacement",
+                            [&] { return replaceRedundancy(Root, *LA); });
+    break;
+  }
+  case OptMode::AutoSel: {
+    // The DP requires an analysis built with its own (tighter)
+    // combination limit, so it owns one; extraction and combinations
+    // still hash-cons through the shared AnalysisManager.
+    SelectionOptions SO;
+    SO.Freq = Opts.Freq;
+    SO.CodeGen = Opts.CodeGen;
+    SO.Model = Opts.Model;
+    SO.MaxMatrixElements = Opts.MaxMatrixElements;
+    SO.AM = AM;
+    if (!SO.Model && Opts.Exec.Eng == Engine::Compiled) {
+      // Select for the engine that will run the result.
+      static const MeasuredCostModel CompiledModel{Engine::Compiled};
+      SO.Model = &CompiledModel;
+    }
+    R.Optimized = runPass(R, "selection",
+                          [&] { return selectOptimizations(Root, SO); });
+    break;
+  }
+  }
+  dumpAfterPass(Opts, R.Passes.size(), R.Passes.back().Name, *R.Optimized);
+
+  // --- Lowering ----------------------------------------------------------
+  if (Opts.Exec.Eng != Engine::Compiled)
+    return R;
+
+  if (Opts.UseProgramCache) {
+    bool Hit = false;
+    R.Program = runPass(R, "lower", [&] {
+      return ProgramCache::global().get(*R.Optimized, Opts.Exec.Compiled,
+                                        &Hit);
+    });
+    R.ProgramCacheHit = Hit;
+  } else {
+    R.Program = runPass(R, "lower", [&] {
+      return std::make_shared<const CompiledProgram>(*R.Optimized,
+                                                     Opts.Exec.Compiled);
+    });
+  }
+  if (R.ProgramCacheHit) {
+    R.Passes.back().Note = "program cache hit";
+  } else {
+    // Split the lowering pass into its recorded phases.
+    const CompiledProgram::BuildStats &BS = R.Program->buildStats();
+    R.Passes.pop_back();
+    R.Passes.push_back({"flatten", BS.FlattenSeconds, std::string()});
+    R.Passes.push_back({"schedule", BS.ScheduleSeconds, std::string()});
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "B=%d",
+                  R.Program->options().BatchIterations);
+    R.Passes.push_back({"tape-compile", BS.TapeSeconds, Buf});
+  }
+  return R;
+}
+
+CompileResult slin::compileStream(const Stream &Root,
+                                  const PipelineOptions &Opts) {
+  return CompilerPipeline(Opts).compile(Root);
+}

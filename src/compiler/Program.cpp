@@ -1,0 +1,124 @@
+//===- compiler/Program.cpp - Reusable compiled-program artifacts ------------==//
+
+#include "compiler/Program.h"
+
+#include "compiler/StructuralHash.h"
+
+#include <chrono>
+
+using namespace slin;
+using namespace slin::flat;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Flattens with timing (member-initializer helper).
+FlatGraph flattenTimed(const Stream &Root, double &Seconds) {
+  auto Start = std::chrono::steady_clock::now();
+  FlatGraph G(Root);
+  Seconds = secondsSince(Start);
+  return G;
+}
+
+StaticSchedule scheduleTimed(const FlatGraph &G, int BatchIterations,
+                             double &Seconds) {
+  auto Start = std::chrono::steady_clock::now();
+  StaticSchedule S = computeSchedule(G, BatchIterations);
+  Seconds = secondsSince(Start);
+  return S;
+}
+
+} // namespace
+
+CompiledProgram::CompiledProgram(const Stream &Root, CompiledOptions Opts)
+    : Opts(Opts), Root(Root.clone()),
+      Graph(flattenTimed(*this->Root, Stats.FlattenSeconds)),
+      Sched(scheduleTimed(Graph, Opts.BatchIterations,
+                          Stats.ScheduleSeconds)) {
+  auto Start = std::chrono::steady_clock::now();
+  Artifacts.resize(Graph.Nodes.size());
+  for (size_t I = 0; I != Graph.Nodes.size(); ++I) {
+    const Node &N = Graph.Nodes[I];
+    if (N.Kind != NodeKind::Filter)
+      continue;
+    FilterArtifact &A = Artifacts[I];
+    if (N.F->isNative()) {
+      A.Native = &N.F->native();
+      continue;
+    }
+    A.Work = wir::OpProgram::compile(N.F->work(), N.F->fields());
+    if (const wir::WorkFunction *IW = N.F->initWork())
+      A.InitWork = wir::OpProgram::compile(*IW, N.F->fields());
+  }
+  Stats.TapeSeconds = secondsSince(Start);
+}
+
+//===----------------------------------------------------------------------===//
+// ProgramCache
+//===----------------------------------------------------------------------===//
+
+ProgramCache &ProgramCache::global() {
+  static ProgramCache Cache;
+  return Cache;
+}
+
+CompiledProgramRef ProgramCache::get(const Stream &Root,
+                                     const CompiledOptions &Opts,
+                                     bool *WasHit) {
+  Key K{structuralHash(Root), Opts.BatchIterations};
+  if (WasHit)
+    *WasHit = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Entries.find(K);
+    if (It != Entries.end()) {
+      ++Counters.Hits;
+      It->second.LastUse = ++UseClock;
+      if (WasHit)
+        *WasHit = true;
+      return It->second.Program;
+    }
+  }
+  // Compile outside the lock; a racing duplicate compile of the same
+  // structure is wasteful but correct (first insert wins).
+  auto Program = std::make_shared<const CompiledProgram>(Root, Opts);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto [It, Inserted] = Entries.emplace(K, Entry{Program, ++UseClock});
+  if (Inserted) {
+    ++Counters.Misses;
+    while (Entries.size() > Capacity) {
+      auto Oldest = Entries.begin();
+      for (auto I = Entries.begin(); I != Entries.end(); ++I)
+        if (I->second.LastUse < Oldest->second.LastUse)
+          Oldest = I;
+      Entries.erase(Oldest);
+    }
+  } else {
+    // A racing thread inserted the same key first; count as a hit.
+    ++Counters.Hits;
+    It->second.LastUse = UseClock;
+    if (WasHit)
+      *WasHit = true;
+  }
+  return It->second.Program;
+}
+
+void ProgramCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.clear();
+}
+
+void ProgramCache::setCapacity(size_t N) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Capacity = N ? N : 1;
+}
+
+ProgramCache::Stats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}

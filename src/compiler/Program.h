@@ -1,0 +1,134 @@
+//===- compiler/Program.h - Reusable compiled-program artifacts -*- C++ -*-===//
+///
+/// \file
+/// The immutable artifact of compiling a stream graph for the batched
+/// engine — everything the compile pipeline can precompute once and many
+/// executor instances can share:
+///
+///  * a private clone of the (optimized) stream graph, owning the filter
+///    definitions the flat graph points into;
+///  * the flattened topology (exec/FlatGraph.h);
+///  * the static schedule: init/steady/batch firing programs and exact
+///    channel capacities (sched/Schedule.h);
+///  * one compiled op tape per IR work function (wir/OpTape.h) and a
+///    prototype per native filter.
+///
+/// CompiledProgram is the "compile once, serve many runs" unit: op tapes
+/// execute with per-instance frames and field stores, native prototypes
+/// are cloned per instance, so any number of CompiledExecutors can run
+/// one program concurrently. ProgramCache hash-conses programs under
+/// (structural hash of the stream, engine options); recompiling a
+/// structurally identical configuration is a map lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_COMPILER_PROGRAM_H
+#define SLIN_COMPILER_PROGRAM_H
+
+#include "exec/ExecOptions.h"
+#include "exec/FlatGraph.h"
+#include "sched/Schedule.h"
+#include "support/Hashing.h"
+#include "wir/OpTape.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace slin {
+
+class CompiledProgram {
+public:
+  /// Per-filter compiled form: op tapes for IR filters, a prototype for
+  /// native ones. Exactly one of {Work, Native} is meaningful.
+  struct FilterArtifact {
+    wir::OpProgram Work;
+    wir::OpProgram InitWork; ///< empty() when the filter has none
+    const NativeFilter *Native = nullptr; ///< owned by the program's root
+  };
+
+  /// Wall-clock seconds spent in each lowering phase (pass-manager
+  /// timing; filled during construction).
+  struct BuildStats {
+    double FlattenSeconds = 0.0;
+    double ScheduleSeconds = 0.0;
+    double TapeSeconds = 0.0;
+  };
+
+  /// Compiles \p Root (cloning it first; the clone is owned by the
+  /// artifact and outlives every executor instantiated from it).
+  CompiledProgram(const Stream &Root, CompiledOptions Opts);
+
+  CompiledProgram(const CompiledProgram &) = delete;
+  CompiledProgram &operator=(const CompiledProgram &) = delete;
+
+  const Stream &root() const { return *Root; }
+  const flat::FlatGraph &graph() const { return Graph; }
+  const StaticSchedule &schedule() const { return Sched; }
+  const CompiledOptions &options() const { return Opts; }
+  const BuildStats &buildStats() const { return Stats; }
+
+  /// Artifact for flat node \p NodeIdx (filter nodes only).
+  const FilterArtifact &filterArtifact(size_t NodeIdx) const {
+    return Artifacts[NodeIdx];
+  }
+
+private:
+  CompiledOptions Opts;
+  /// Declared before Graph/Sched: their member initializers record phase
+  /// timings into it.
+  BuildStats Stats;
+  StreamPtr Root;
+  flat::FlatGraph Graph;
+  StaticSchedule Sched;
+  std::vector<FilterArtifact> Artifacts; ///< indexed by node; filters only
+};
+
+using CompiledProgramRef = std::shared_ptr<const CompiledProgram>;
+
+/// Process-wide cache of compiled programs keyed by (structural hash,
+/// engine options). Bounded LRU: programs can hold large packed matrices,
+/// so the cache evicts the least recently used entry beyond capacity.
+class ProgramCache {
+public:
+  static ProgramCache &global();
+
+  /// Returns the cached program for (\p Root's structure, \p Opts),
+  /// compiling and inserting on miss. \p WasHit (optional) reports
+  /// whether this call was served from the cache.
+  CompiledProgramRef get(const Stream &Root, const CompiledOptions &Opts,
+                         bool *WasHit = nullptr);
+
+  void clear();
+  void setCapacity(size_t N);
+
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+  };
+  Stats stats() const;
+
+private:
+  struct Key {
+    HashDigest Digest;
+    int BatchIterations;
+    bool operator<(const Key &O) const {
+      return Digest != O.Digest ? Digest < O.Digest
+                                : BatchIterations < O.BatchIterations;
+    }
+  };
+  struct Entry {
+    CompiledProgramRef Program;
+    uint64_t LastUse = 0;
+  };
+
+  mutable std::mutex Mutex;
+  std::map<Key, Entry> Entries;
+  size_t Capacity = 64;
+  uint64_t UseClock = 0;
+  Stats Counters;
+};
+
+} // namespace slin
+
+#endif // SLIN_COMPILER_PROGRAM_H

@@ -1,0 +1,276 @@
+//===- compiler/StructuralHash.cpp - Stream subtree hashing ------------------==//
+
+#include "compiler/StructuralHash.h"
+
+#include "support/Diag.h"
+
+using namespace slin;
+using namespace slin::wir;
+
+namespace {
+
+// Distinct tags keep different node categories from colliding even when
+// their payload words happen to coincide.
+enum HashTag : uint64_t {
+  TagFilter = 0x11,
+  TagPipeline = 0x12,
+  TagSplitJoin = 0x13,
+  TagFeedback = 0x14,
+  TagNativeContent = 0x15,
+  TagNativeIdentity = 0x16,
+  TagWork = 0x21,
+  TagInitWork = 0x22,
+  TagField = 0x23,
+  TagExpr = 0x31,
+  TagStmt = 0x32,
+  TagLinearNode = 0x41,
+};
+
+void hashExpr(HashStream &H, const Expr &E);
+
+void hashExprOpt(HashStream &H, const Expr *E) {
+  if (!E) {
+    H.mix(0);
+    return;
+  }
+  H.mix(1);
+  hashExpr(H, *E);
+}
+
+void hashExpr(HashStream &H, const Expr &E) {
+  H.mix(TagExpr);
+  H.mixInt(static_cast<int64_t>(E.kind()));
+  switch (E.kind()) {
+  case ExprKind::Const:
+    H.mixDouble(cast<ConstExpr>(&E)->Value);
+    return;
+  case ExprKind::VarRef:
+    H.mixString(cast<VarRefExpr>(&E)->Name);
+    return;
+  case ExprKind::ArrayRef: {
+    const auto *A = cast<ArrayRefExpr>(&E);
+    H.mixString(A->Name);
+    hashExpr(H, *A->Index);
+    return;
+  }
+  case ExprKind::FieldRef: {
+    const auto *F = cast<FieldRefExpr>(&E);
+    H.mixString(F->Name);
+    hashExprOpt(H, F->Index.get());
+    return;
+  }
+  case ExprKind::Peek:
+    hashExpr(H, *cast<PeekExpr>(&E)->Index);
+    return;
+  case ExprKind::Pop:
+    return;
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    H.mixInt(static_cast<int64_t>(B->Op));
+    hashExpr(H, *B->LHS);
+    hashExpr(H, *B->RHS);
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    H.mixInt(static_cast<int64_t>(U->Op));
+    hashExpr(H, *U->Operand);
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(&E);
+    H.mixInt(static_cast<int64_t>(C->Fn));
+    hashExpr(H, *C->Arg);
+    return;
+  }
+  }
+  unreachable("unknown expr kind");
+}
+
+void hashStmts(HashStream &H, const StmtList &Body);
+
+void hashStmt(HashStream &H, const Stmt &S) {
+  H.mix(TagStmt);
+  H.mixInt(static_cast<int64_t>(S.kind()));
+  switch (S.kind()) {
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    H.mixString(A->Name);
+    hashExpr(H, *A->Value);
+    return;
+  }
+  case StmtKind::ArrayAssign: {
+    const auto *A = cast<ArrayAssignStmt>(&S);
+    H.mixString(A->Name);
+    hashExpr(H, *A->Index);
+    hashExpr(H, *A->Value);
+    return;
+  }
+  case StmtKind::FieldAssign: {
+    const auto *F = cast<FieldAssignStmt>(&S);
+    H.mixString(F->Name);
+    hashExprOpt(H, F->Index.get());
+    hashExpr(H, *F->Value);
+    return;
+  }
+  case StmtKind::LocalArray: {
+    const auto *L = cast<LocalArrayStmt>(&S);
+    H.mixString(L->Name);
+    H.mixInt(L->Size);
+    return;
+  }
+  case StmtKind::Push:
+    hashExpr(H, *cast<PushStmt>(&S)->Value);
+    return;
+  case StmtKind::PopDiscard:
+    return;
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(&S);
+    H.mixString(F->Var);
+    hashExpr(H, *F->Begin);
+    hashExpr(H, *F->End);
+    hashStmts(H, F->Body);
+    return;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    hashExpr(H, *I->Cond);
+    hashStmts(H, I->Then);
+    hashStmts(H, I->Else);
+    return;
+  }
+  case StmtKind::Print:
+    hashExpr(H, *cast<PrintStmt>(&S)->Value);
+    return;
+  case StmtKind::Uncounted:
+    hashStmts(H, cast<UncountedStmt>(&S)->Body);
+    return;
+  }
+  unreachable("unknown stmt kind");
+}
+
+void hashStmts(HashStream &H, const StmtList &Body) {
+  H.mix(Body.size());
+  for (const StmtPtr &S : Body)
+    hashStmt(H, *S);
+}
+
+void hashFields(HashStream &H, const std::vector<FieldDef> &Fields) {
+  H.mix(Fields.size());
+  for (const FieldDef &F : Fields) {
+    H.mix(TagField);
+    H.mixString(F.Name);
+    H.mix(F.IsArray ? 1 : 0);
+    H.mix(F.IsMutable ? 1 : 0);
+    H.mix(F.Init.size());
+    for (double V : F.Init)
+      H.mixDouble(V);
+  }
+}
+
+void hashWeights(HashStream &H, const std::vector<int> &W) {
+  H.mix(W.size());
+  for (int V : W)
+    H.mixInt(V);
+}
+
+} // namespace
+
+void slin::hashWorkFunction(HashStream &H, const WorkFunction &W) {
+  H.mix(TagWork);
+  H.mixInt(W.PeekRate);
+  H.mixInt(W.PopRate);
+  H.mixInt(W.PushRate);
+  hashStmts(H, W.Body);
+}
+
+void slin::hashStream(HashStream &H, const Stream &S) {
+  switch (S.kind()) {
+  case StreamKind::Filter: {
+    const auto *F = cast<Filter>(&S);
+    H.mix(TagFilter);
+    if (F->isNative()) {
+      HashStream Content;
+      if (F->native().hashContent(Content)) {
+        H.mix(TagNativeContent);
+        HashDigest D = Content.digest();
+        H.mix(D.Lo);
+        H.mix(D.Hi);
+      } else {
+        // No content hash: fall back to the filter's never-reused
+        // instance id. Stable for the same filter object, unique across
+        // objects (including a later allocation at the same address) —
+        // persistent caches keyed on the enclosing digest never alias
+        // distinct unhashable filters.
+        H.mix(TagNativeIdentity);
+        H.mix(F->native().instanceId());
+      }
+      return;
+    }
+    hashFields(H, F->fields());
+    hashWorkFunction(H, F->work());
+    if (const WorkFunction *IW = F->initWork()) {
+      H.mix(TagInitWork);
+      hashWorkFunction(H, *IW);
+    } else {
+      H.mix(0);
+    }
+    return;
+  }
+  case StreamKind::Pipeline: {
+    const auto *P = cast<Pipeline>(&S);
+    H.mix(TagPipeline);
+    H.mix(P->children().size());
+    for (const StreamPtr &C : P->children())
+      hashStream(H, *C);
+    return;
+  }
+  case StreamKind::SplitJoin: {
+    const auto *SJ = cast<SplitJoin>(&S);
+    H.mix(TagSplitJoin);
+    H.mixInt(static_cast<int64_t>(SJ->splitter().Kind));
+    hashWeights(H, SJ->splitter().Weights);
+    hashWeights(H, SJ->joiner().Weights);
+    H.mix(SJ->children().size());
+    for (const StreamPtr &C : SJ->children())
+      hashStream(H, *C);
+    return;
+  }
+  case StreamKind::FeedbackLoop: {
+    const auto *FB = cast<FeedbackLoop>(&S);
+    H.mix(TagFeedback);
+    hashWeights(H, FB->joiner().Weights);
+    hashWeights(H, FB->splitter().Weights);
+    H.mix(FB->enqueued().size());
+    for (double V : FB->enqueued())
+      H.mixDouble(V);
+    hashStream(H, FB->body());
+    hashStream(H, FB->loop());
+    return;
+  }
+  }
+  unreachable("unknown stream kind");
+}
+
+HashDigest slin::structuralHash(const Stream &S) {
+  HashStream H;
+  hashStream(H, S);
+  return H.digest();
+}
+
+HashDigest slin::linearNodeHash(const LinearNode &N) {
+  HashStream H;
+  H.mix(TagLinearNode);
+  H.mixInt(N.peekRate());
+  H.mixInt(N.popRate());
+  H.mixInt(N.pushRate());
+  const Matrix &A = N.matrix();
+  for (size_t R = 0; R != A.rows(); ++R) {
+    const double *Row = A.rowData(R);
+    for (size_t C = 0; C != A.cols(); ++C)
+      H.mixDouble(Row[C]);
+  }
+  for (size_t I = 0; I != N.vector().size(); ++I)
+    H.mixDouble(N.vector()[I]);
+  return H.digest();
+}

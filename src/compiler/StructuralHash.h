@@ -1,0 +1,47 @@
+//===- compiler/StructuralHash.h - Stream subtree hashing -------*- C++ -*-===//
+///
+/// \file
+/// Content hashing of stream subtrees and linear nodes, the key machinery
+/// behind the hash-consed analysis cache (compiler/AnalysisManager.h) and
+/// the compiled-program cache (compiler/Program.h). Two structurally
+/// identical subtrees — same construct kinds, rates, work-function IR,
+/// field initializers, splitter/joiner weights — hash to the same 128-bit
+/// digest regardless of object identity or stream *names*, so a filter
+/// rebuilt by a fresh `optimize()` call hash-conses onto artifacts
+/// compiled for an earlier, structurally equal configuration.
+///
+/// Names are deliberately excluded: they carry no execution semantics
+/// (the replacers generate fresh "<name>_linear"-style labels on every
+/// run, which must not defeat caching). Native filters participate via
+/// NativeFilter::hashContent; a native filter without a content hash
+/// makes the enclosing subtree hash by object identity — unique, so the
+/// caches stay correct and merely miss.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_COMPILER_STRUCTURALHASH_H
+#define SLIN_COMPILER_STRUCTURALHASH_H
+
+#include "graph/Stream.h"
+#include "linear/LinearNode.h"
+#include "support/Hashing.h"
+
+namespace slin {
+
+/// Digest of a stream subtree (see file comment for what "structural"
+/// includes and excludes).
+HashDigest structuralHash(const Stream &S);
+
+/// Mixes \p S's structure into an ongoing hash (for composite keys).
+void hashStream(HashStream &H, const Stream &S);
+
+/// Mixes a work function (rates + IR body) into \p H.
+void hashWorkFunction(HashStream &H, const wir::WorkFunction &W);
+
+/// Digest of a linear node's full content (rates, A, b) — the key under
+/// which combination results are hash-consed.
+HashDigest linearNodeHash(const LinearNode &N);
+
+} // namespace slin
+
+#endif // SLIN_COMPILER_STRUCTURALHASH_H

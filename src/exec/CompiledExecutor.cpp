@@ -50,8 +50,11 @@ private:
 //===----------------------------------------------------------------------===//
 
 CompiledExecutor::CompiledExecutor(const Stream &Root, Options Opts)
-    : Opts(Opts), Graph(Root),
-      Sched(computeSchedule(Graph, Opts.BatchIterations)) {
+    : CompiledExecutor(std::make_shared<const CompiledProgram>(Root, Opts)) {}
+
+CompiledExecutor::CompiledExecutor(CompiledProgramRef Program)
+    : Prog(std::move(Program)), Graph(Prog->graph()),
+      Sched(Prog->schedule()) {
   Channels.resize(Graph.numChannels());
   for (size_t C = 0; C != Graph.numChannels(); ++C) {
     if (static_cast<int>(C) == Graph.ExternalIn ||
@@ -69,17 +72,18 @@ CompiledExecutor::CompiledExecutor(const Stream &Root, Options Opts)
     const Node &N = Graph.Nodes[I];
     if (N.Kind != NodeKind::Filter)
       continue;
+    const CompiledProgram::FilterArtifact &A = Prog->filterArtifact(I);
     FilterState &S = States[I];
-    if (N.F->isNative()) {
-      S.Native = N.F->native().clone();
+    if (A.Native) {
+      S.Native = A.Native->clone();
       continue;
     }
     S.Fields = wir::FieldStore(N.F->fields());
-    S.Work = wir::OpProgram::compile(N.F->work(), N.F->fields());
-    S.Work.prepareFrame(S.Frame);
-    if (const wir::WorkFunction *IW = N.F->initWork()) {
-      S.InitWork = wir::OpProgram::compile(*IW, N.F->fields());
-      S.InitWork.prepareFrame(S.Frame);
+    S.Work = &A.Work;
+    S.Work->prepareFrame(S.Frame);
+    if (!A.InitWork.empty()) {
+      S.InitWork = &A.InitWork;
+      S.InitWork->prepareFrame(S.Frame);
     }
   }
 }
@@ -190,12 +194,12 @@ void CompiledExecutor::fireFilterStep(size_t NodeIdx, int64_t K) {
     const double *Ip = In;
     double *Op = Out;
     if (InitPending) {
-      S.InitWork.run(S.Frame, S.Fields, Ip, Op, Printed);
+      S.InitWork->run(S.Frame, S.Fields, Ip, Op, Printed);
       Ip = Ip ? Ip + InitPop : nullptr;
       Op = Op ? Op + InitPush : nullptr;
     }
     for (int64_t I = 0; I != SteadyK; ++I) {
-      S.Work.run(S.Frame, S.Fields, Ip, Op, Printed);
+      S.Work->run(S.Frame, S.Fields, Ip, Op, Printed);
       Ip = Ip ? Ip + Pop : nullptr;
       Op = Op ? Op + Push : nullptr;
     }

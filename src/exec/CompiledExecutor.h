@@ -29,24 +29,35 @@
 #ifndef SLIN_EXEC_COMPILEDEXECUTOR_H
 #define SLIN_EXEC_COMPILEDEXECUTOR_H
 
+#include "compiler/Program.h"
+#include "exec/ExecOptions.h"
 #include "exec/FlatGraph.h"
 #include "sched/Schedule.h"
 #include "wir/OpTape.h"
 
 namespace slin {
 
+/// An executor *instance* over an immutable CompiledProgram artifact
+/// (compiler/Program.h): the artifact holds the flat graph, the static
+/// schedule and the compiled op tapes; this class holds only runtime
+/// state (channel buffers, register frames, field stores, native filter
+/// clones), so one program instantiates any number of independent
+/// executors — the "compile once, serve many runs" split.
 class CompiledExecutor {
 public:
-  struct Options {
-    /// Steady-state iterations fused into one batch program. Larger
-    /// batches give the batched kernels longer runs (and cost
-    /// proportionally more channel memory).
-    int BatchIterations = 16;
-  };
+  /// Knobs live in exec/ExecOptions.h (shared with the unified
+  /// ExecOptions struct); the alias keeps `CompiledExecutor::Options`.
+  using Options = CompiledOptions;
 
+  /// Convenience constructors compiling a fresh private program (not
+  /// routed through the ProgramCache; see exec/Measure.h for the cached
+  /// path).
   explicit CompiledExecutor(const Stream &Root)
       : CompiledExecutor(Root, Options()) {}
   CompiledExecutor(const Stream &Root, Options Opts);
+
+  /// Instantiates runtime state over a shared artifact.
+  explicit CompiledExecutor(CompiledProgramRef Program);
   ~CompiledExecutor();
 
   CompiledExecutor(const CompiledExecutor &) = delete;
@@ -76,6 +87,9 @@ public:
   /// The static schedule driving this engine (for tests/diagnostics).
   const StaticSchedule &schedule() const { return Sched; }
 
+  /// The shared artifact this instance runs.
+  const CompiledProgram &program() const { return *Prog; }
+
 private:
   /// A flat channel buffer; live items occupy [Head, Tail). Compacted
   /// (live items moved to the front) after every program run, so within
@@ -87,10 +101,11 @@ private:
     size_t live() const { return Tail - Head; }
   };
 
-  /// Per-filter execution state.
+  /// Per-filter *runtime* state; the op tapes themselves live in the
+  /// shared CompiledProgram artifact.
   struct FilterState {
-    wir::OpProgram Work;
-    wir::OpProgram InitWork; ///< empty() when the filter has none
+    const wir::OpProgram *Work = nullptr;
+    const wir::OpProgram *InitWork = nullptr; ///< null when none
     wir::WorkFrame Frame;
     wir::FieldStore Fields;
     std::unique_ptr<NativeFilter> Native;
@@ -108,9 +123,9 @@ private:
   void fireSplitJoinStep(size_t NodeIdx, int64_t K);
   void compact();
 
-  Options Opts;
-  flat::FlatGraph Graph;
-  StaticSchedule Sched;
+  CompiledProgramRef Prog;
+  const flat::FlatGraph &Graph; ///< = Prog->graph()
+  const StaticSchedule &Sched;  ///< = Prog->schedule()
   std::vector<ChannelBuf> Channels; ///< indexed by channel; external unused
   std::vector<FilterState> States;  ///< indexed by node; filters only
   std::vector<double> ExtIn;

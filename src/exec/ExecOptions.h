@@ -1,0 +1,53 @@
+//===- exec/ExecOptions.h - Unified execution options -----------*- C++ -*-===//
+///
+/// \file
+/// One struct holding every engine knob: which engine runs the program
+/// and the per-engine tuning options. Measurement helpers, the compiler
+/// pipeline, the program cache and the bench harnesses all carry an
+/// ExecOptions instead of parallel (engine, executor-options, batch-
+/// iterations) fields. The per-engine structs live here — away from the
+/// engine headers — so option-only consumers stay light; the engines
+/// alias them (`Executor::Options`, `CompiledExecutor::Options`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_EXEC_EXECOPTIONS_H
+#define SLIN_EXEC_EXECOPTIONS_H
+
+#include "exec/Engine.h"
+
+#include <cstddef>
+
+namespace slin {
+
+/// Knobs of the dynamic data-driven engine (exec/Executor.h).
+struct DynamicOptions {
+  /// Upper bound on any channel's high-water mark. Each channel's
+  /// actual cap is derived from its consumer's peek requirement (twice
+  /// the requirement, at least MinChannelCap) so producers stay only
+  /// slightly ahead of consumers and measured windows reflect steady
+  /// state rather than queue fill-up.
+  size_t ChannelCap = 1 << 16;
+  size_t MinChannelCap = 64;
+  /// Max consecutive firings of one node within a sweep.
+  size_t BatchLimit = 1024;
+};
+
+/// Knobs of the compiled batched engine (exec/CompiledExecutor.h).
+struct CompiledOptions {
+  /// Steady-state iterations fused into one batch program. Larger
+  /// batches give the batched kernels longer runs (and cost
+  /// proportionally more channel memory).
+  int BatchIterations = 16;
+};
+
+/// Engine selection plus both engines' knobs.
+struct ExecOptions {
+  Engine Eng = Engine::Dynamic;
+  DynamicOptions Dynamic;
+  CompiledOptions Compiled;
+};
+
+} // namespace slin
+
+#endif // SLIN_EXEC_EXECOPTIONS_H

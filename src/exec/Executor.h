@@ -19,6 +19,7 @@
 #ifndef SLIN_EXEC_EXECUTOR_H
 #define SLIN_EXEC_EXECUTOR_H
 
+#include "exec/ExecOptions.h"
 #include "exec/FlatGraph.h"
 #include "wir/Interp.h"
 
@@ -28,17 +29,9 @@ namespace slin {
 
 class Executor {
 public:
-  struct Options {
-    /// Upper bound on any channel's high-water mark. Each channel's
-    /// actual cap is derived from its consumer's peek requirement (twice
-    /// the requirement, at least MinChannelCap) so producers stay only
-    /// slightly ahead of consumers and measured windows reflect steady
-    /// state rather than queue fill-up.
-    size_t ChannelCap = 1 << 16;
-    size_t MinChannelCap = 64;
-    /// Max consecutive firings of one node within a sweep.
-    size_t BatchLimit = 1024;
-  };
+  /// Knobs live in exec/ExecOptions.h (shared with the unified
+  /// ExecOptions struct); the alias keeps `Executor::Options` spelling.
+  using Options = DynamicOptions;
 
   explicit Executor(const Stream &Root) : Executor(Root, Options()) {}
   Executor(const Stream &Root, Options Opts);

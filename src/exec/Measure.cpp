@@ -2,6 +2,7 @@
 
 #include "exec/Measure.h"
 
+#include "compiler/Program.h"
 #include "exec/CompiledExecutor.h"
 
 #include <chrono>
@@ -54,13 +55,15 @@ Measurement measureWith(const MeasureOptions &Opts, MakeExec Make) {
 
 Measurement slin::measureSteadyState(const Stream &Root,
                                      const MeasureOptions &Opts) {
-  if (Opts.Eng == Engine::Compiled) {
-    CompiledExecutor::Options CO;
-    CO.BatchIterations = Opts.CompiledBatchIterations;
-    return measureWith<CompiledExecutor>(
-        Opts, [&] { return CompiledExecutor(Root, CO); });
+  if (Opts.Exec.Eng == Engine::Compiled) {
+    CompiledProgramRef P =
+        Opts.Program ? Opts.Program
+                     : ProgramCache::global().get(Root, Opts.Exec.Compiled);
+    return measureWith<CompiledExecutor>(Opts,
+                                         [&] { return CompiledExecutor(P); });
   }
-  return measureWith<Executor>(Opts, [&] { return Executor(Root, Opts.Exec); });
+  return measureWith<Executor>(
+      Opts, [&] { return Executor(Root, Opts.Exec.Dynamic); });
 }
 
 std::vector<double> slin::collectOutputs(const Stream &Root, size_t NOutputs,
@@ -73,7 +76,7 @@ std::vector<double> slin::collectOutputs(const Stream &Root, size_t NOutputs,
     return Out;
   };
   if (Eng == Engine::Compiled) {
-    CompiledExecutor E(Root);
+    CompiledExecutor E(ProgramCache::global().get(Root, CompiledOptions()));
     E.run(NOutputs);
     return Finish(E.printed(), E.outputSnapshot());
   }

@@ -18,7 +18,9 @@
 #ifndef SLIN_EXEC_MEASURE_H
 #define SLIN_EXEC_MEASURE_H
 
+#include "compiler/Program.h"
 #include "exec/Engine.h"
+#include "exec/ExecOptions.h"
 #include "exec/Executor.h"
 #include "support/OpCounters.h"
 
@@ -44,20 +46,26 @@ struct MeasureOptions {
   size_t WarmupOutputs = 256;
   size_t MeasureOutputs = 2048;
   bool MeasureTime = true; ///< skip the timing run when false
-  Engine Eng = Engine::Dynamic;
-  Executor::Options Exec;
-  /// Compiled engine: steady-state iterations fused per batch (kept as a
-  /// plain knob so this header stays light; see CompiledExecutor.h).
-  int CompiledBatchIterations = 16;
+  /// Engine selection + per-engine knobs (exec/ExecOptions.h).
+  ExecOptions Exec;
+  /// Compiled engine only: the artifact to instantiate (e.g. the one the
+  /// compiler pipeline just produced). Null: fetch from the global
+  /// ProgramCache. Must match Root's structure when set.
+  CompiledProgramRef Program;
 };
 
 /// Measures one configuration of a self-contained (source-driven) graph.
+/// Compiled-engine runs fetch their artifact from the global ProgramCache
+/// (compiler/Program.h): the counting and timing runs share one compile,
+/// and repeated measurements of structurally identical configurations
+/// recompile nothing.
 Measurement measureSteadyState(const Stream &Root,
                                const MeasureOptions &Opts = MeasureOptions());
 
 /// Runs \p Root until it yields \p NOutputs observable outputs and returns
 /// them (printed values for void->void graphs, external channel items
-/// otherwise). Used by the output-equivalence tests.
+/// otherwise). Used by the output-equivalence tests. Compiled-engine runs
+/// go through the global ProgramCache.
 std::vector<double> collectOutputs(const Stream &Root, size_t NOutputs,
                                    Engine Eng = Engine::Dynamic);
 

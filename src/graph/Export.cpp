@@ -1,0 +1,327 @@
+//===- graph/Export.cpp - Stream graph exporters ------------------------------==//
+
+#include "graph/Export.h"
+
+#include "support/Diag.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+using namespace slin;
+
+namespace {
+
+/// Escapes for a double-quoted string literal. The escapes used are valid
+/// in both JSON strings and DOT quoted ids/labels; control characters
+/// would otherwise produce invalid JSON.
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string weightsStr(const std::vector<int> &W) {
+  std::string S = "(";
+  for (size_t I = 0; I != W.size(); ++I) {
+    if (I)
+      S += ",";
+    S += std::to_string(W[I]);
+  }
+  return S + ")";
+}
+
+std::string fmtDouble(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// DOT
+//===----------------------------------------------------------------------===//
+
+class DotWriter {
+public:
+  explicit DotWriter(std::ostringstream &OS) : OS(OS) {}
+
+  /// Emits \p S and returns its (entry, exit) node ids.
+  std::pair<std::string, std::string> emit(const Stream &S, int Depth) {
+    switch (S.kind()) {
+    case StreamKind::Filter: {
+      const auto *F = cast<Filter>(&S);
+      std::string Id = fresh("f");
+      indent(Depth);
+      OS << Id << " [label=\"" << escape(F->name()) << "\\n"
+         << (F->isNative() ? "native " : "") << "peek=" << F->peekRate()
+         << " pop=" << F->popRate() << " push=" << F->pushRate();
+      if (F->hasInitWork())
+        OS << "\\ninit: peek=" << F->initPeekRate()
+           << " pop=" << F->initPopRate() << " push=" << F->initPushRate();
+      OS << "\"];\n";
+      return {Id, Id};
+    }
+    case StreamKind::Pipeline: {
+      const auto *P = cast<Pipeline>(&S);
+      std::string Cluster = fresh("cluster_pipe");
+      indent(Depth);
+      OS << "subgraph " << Cluster << " {\n";
+      indent(Depth + 1);
+      OS << "label=\"pipeline " << escape(P->name()) << "\";\n";
+      std::string Entry, Exit;
+      for (const StreamPtr &C : P->children()) {
+        auto [CIn, COut] = emit(*C, Depth + 1);
+        if (Entry.empty())
+          Entry = CIn;
+        else {
+          indent(Depth + 1);
+          OS << Exit << " -> " << CIn << ";\n";
+        }
+        Exit = COut;
+      }
+      indent(Depth);
+      OS << "}\n";
+      return {Entry, Exit};
+    }
+    case StreamKind::SplitJoin: {
+      const auto *SJ = cast<SplitJoin>(&S);
+      std::string Cluster = fresh("cluster_sj");
+      std::string Split = fresh("split");
+      std::string Join = fresh("join");
+      indent(Depth);
+      OS << "subgraph " << Cluster << " {\n";
+      indent(Depth + 1);
+      OS << "label=\"splitjoin " << escape(SJ->name()) << "\";\n";
+      indent(Depth + 1);
+      OS << Split << " [shape=invtriangle, label=\""
+         << (SJ->splitter().Kind == Splitter::Duplicate
+                 ? std::string("duplicate")
+                 : "roundrobin" + weightsStr(SJ->splitter().Weights))
+         << "\"];\n";
+      indent(Depth + 1);
+      OS << Join << " [shape=triangle, label=\"roundrobin"
+         << weightsStr(SJ->joiner().Weights) << "\"];\n";
+      for (const StreamPtr &C : SJ->children()) {
+        auto [CIn, COut] = emit(*C, Depth + 1);
+        indent(Depth + 1);
+        OS << Split << " -> " << CIn << ";\n";
+        indent(Depth + 1);
+        OS << COut << " -> " << Join << ";\n";
+      }
+      indent(Depth);
+      OS << "}\n";
+      return {Split, Join};
+    }
+    case StreamKind::FeedbackLoop: {
+      const auto *FB = cast<FeedbackLoop>(&S);
+      std::string Cluster = fresh("cluster_fb");
+      std::string Join = fresh("join");
+      std::string Split = fresh("split");
+      indent(Depth);
+      OS << "subgraph " << Cluster << " {\n";
+      indent(Depth + 1);
+      OS << "label=\"feedbackloop " << escape(FB->name()) << "\";\n";
+      indent(Depth + 1);
+      OS << Join << " [shape=triangle, label=\"roundrobin"
+         << weightsStr(FB->joiner().Weights) << "\"];\n";
+      indent(Depth + 1);
+      OS << Split << " [shape=invtriangle, label=\"split"
+         << weightsStr(FB->splitter().Weights) << "\"];\n";
+      auto [BIn, BOut] = emit(FB->body(), Depth + 1);
+      auto [LIn, LOut] = emit(FB->loop(), Depth + 1);
+      indent(Depth + 1);
+      OS << Join << " -> " << BIn << ";\n";
+      indent(Depth + 1);
+      OS << BOut << " -> " << Split << ";\n";
+      indent(Depth + 1);
+      OS << Split << " -> " << LIn << ";\n";
+      indent(Depth + 1);
+      OS << LOut << " -> " << Join << " [constraint=false, label=\"enq="
+         << FB->enqueued().size() << "\"];\n";
+      indent(Depth);
+      OS << "}\n";
+      return {Join, Split};
+    }
+    }
+    unreachable("unknown stream kind");
+  }
+
+private:
+  std::string fresh(const char *Prefix) {
+    return std::string(Prefix) + std::to_string(Next++);
+  }
+  void indent(int Depth) {
+    for (int I = 0; I != Depth; ++I)
+      OS << "  ";
+  }
+
+  std::ostringstream &OS;
+  int Next = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+void emitJson(std::ostringstream &OS, const Stream &S, int Depth) {
+  auto Indent = [&](int D) {
+    for (int I = 0; I != D; ++I)
+      OS << "  ";
+  };
+  auto EmitChildren = [&](const std::vector<StreamPtr> &Children) {
+    Indent(Depth + 1);
+    OS << "\"children\": [";
+    for (size_t I = 0; I != Children.size(); ++I) {
+      OS << (I ? "," : "") << "\n";
+      emitJson(OS, *Children[I], Depth + 2);
+    }
+    OS << "\n";
+    Indent(Depth + 1);
+    OS << "]\n";
+  };
+  auto EmitWeights = [&](const char *Key, const std::vector<int> &W) {
+    Indent(Depth + 1);
+    OS << "\"" << Key << "\": [";
+    for (size_t I = 0; I != W.size(); ++I)
+      OS << (I ? ", " : "") << W[I];
+    OS << "],\n";
+  };
+
+  Indent(Depth);
+  OS << "{\n";
+  switch (S.kind()) {
+  case StreamKind::Filter: {
+    const auto *F = cast<Filter>(&S);
+    Indent(Depth + 1);
+    OS << "\"kind\": \"filter\",\n";
+    Indent(Depth + 1);
+    OS << "\"name\": \"" << escape(F->name()) << "\",\n";
+    Indent(Depth + 1);
+    OS << "\"native\": " << (F->isNative() ? "true" : "false") << ",\n";
+    Indent(Depth + 1);
+    OS << "\"peek\": " << F->peekRate() << ", \"pop\": " << F->popRate()
+       << ", \"push\": " << F->pushRate();
+    if (F->hasInitWork()) {
+      OS << ",\n";
+      Indent(Depth + 1);
+      OS << "\"initPeek\": " << F->initPeekRate()
+         << ", \"initPop\": " << F->initPopRate()
+         << ", \"initPush\": " << F->initPushRate();
+    }
+    OS << "\n";
+    break;
+  }
+  case StreamKind::Pipeline: {
+    const auto *P = cast<Pipeline>(&S);
+    Indent(Depth + 1);
+    OS << "\"kind\": \"pipeline\",\n";
+    Indent(Depth + 1);
+    OS << "\"name\": \"" << escape(P->name()) << "\",\n";
+    EmitChildren(P->children());
+    break;
+  }
+  case StreamKind::SplitJoin: {
+    const auto *SJ = cast<SplitJoin>(&S);
+    Indent(Depth + 1);
+    OS << "\"kind\": \"splitjoin\",\n";
+    Indent(Depth + 1);
+    OS << "\"name\": \"" << escape(SJ->name()) << "\",\n";
+    Indent(Depth + 1);
+    OS << "\"splitter\": \""
+       << (SJ->splitter().Kind == Splitter::Duplicate ? "duplicate"
+                                                      : "roundrobin")
+       << "\",\n";
+    if (SJ->splitter().Kind != Splitter::Duplicate)
+      EmitWeights("splitWeights", SJ->splitter().Weights);
+    EmitWeights("joinWeights", SJ->joiner().Weights);
+    EmitChildren(SJ->children());
+    break;
+  }
+  case StreamKind::FeedbackLoop: {
+    const auto *FB = cast<FeedbackLoop>(&S);
+    Indent(Depth + 1);
+    OS << "\"kind\": \"feedbackloop\",\n";
+    Indent(Depth + 1);
+    OS << "\"name\": \"" << escape(FB->name()) << "\",\n";
+    EmitWeights("joinWeights", FB->joiner().Weights);
+    EmitWeights("splitWeights", FB->splitter().Weights);
+    Indent(Depth + 1);
+    OS << "\"enqueued\": [";
+    for (size_t I = 0; I != FB->enqueued().size(); ++I)
+      OS << (I ? ", " : "") << fmtDouble(FB->enqueued()[I]);
+    OS << "],\n";
+    Indent(Depth + 1);
+    OS << "\"body\":\n";
+    emitJson(OS, FB->body(), Depth + 2);
+    OS << ",\n";
+    Indent(Depth + 1);
+    OS << "\"loop\":\n";
+    emitJson(OS, FB->loop(), Depth + 2);
+    OS << "\n";
+    break;
+  }
+  }
+  Indent(Depth);
+  OS << "}";
+}
+
+} // namespace
+
+std::string slin::streamToDot(const Stream &Root) {
+  std::ostringstream OS;
+  OS << "digraph \"" << escape(Root.name()) << "\" {\n";
+  OS << "  rankdir=TB;\n";
+  OS << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  DotWriter W(OS);
+  W.emit(Root, 1);
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string slin::streamToJson(const Stream &Root) {
+  std::ostringstream OS;
+  emitJson(OS, Root, 0);
+  OS << "\n";
+  return OS.str();
+}
+
+bool slin::writeTextFile(const std::string &Path, const std::string &Text) {
+  std::error_code EC;
+  std::filesystem::path P(Path);
+  if (P.has_parent_path())
+    std::filesystem::create_directories(P.parent_path(), EC);
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return true;
+}

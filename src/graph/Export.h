@@ -1,0 +1,35 @@
+//===- graph/Export.h - Stream graph exporters ------------------*- C++ -*-===//
+///
+/// \file
+/// Deterministic DOT and JSON renderings of a hierarchical stream graph,
+/// used by the compiler pipeline's dump-after-pass diagnostics and by the
+/// golden-file tests. DOT draws containers as nested clusters with
+/// explicit splitter/joiner nodes and dataflow edges (the loop channel of
+/// a feedbackloop is drawn as a back edge labelled with its enqueued
+/// count); JSON mirrors the hierarchy as nested objects with rates and
+/// weights, machine-readable for external tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_GRAPH_EXPORT_H
+#define SLIN_GRAPH_EXPORT_H
+
+#include "graph/Stream.h"
+
+#include <string>
+
+namespace slin {
+
+/// Graphviz DOT rendering of \p Root.
+std::string streamToDot(const Stream &Root);
+
+/// JSON rendering of \p Root (2-space indentation, trailing newline).
+std::string streamToJson(const Stream &Root);
+
+/// Writes \p Text to \p Path, creating parent directories. Returns false
+/// (with a warning on stderr) on failure.
+bool writeTextFile(const std::string &Path, const std::string &Text);
+
+} // namespace slin
+
+#endif // SLIN_GRAPH_EXPORT_H

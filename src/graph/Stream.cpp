@@ -4,12 +4,24 @@
 
 #include "support/Diag.h"
 
+#include <atomic>
 #include <cstdio>
 #include <numeric>
 
 using namespace slin;
 
 Stream::~Stream() = default;
+
+namespace {
+uint64_t nextNativeFilterId() {
+  static std::atomic<uint64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+} // namespace
+
+NativeFilter::NativeFilter() : InstanceId(nextNativeFilterId()) {}
+NativeFilter::NativeFilter(const NativeFilter &)
+    : InstanceId(nextNativeFilterId()) {}
 NativeFilter::~NativeFilter() = default;
 
 bool NativeFilter::fireBatch(const double *, double *, int) { return false; }

@@ -19,6 +19,7 @@
 #ifndef SLIN_GRAPH_STREAM_H
 #define SLIN_GRAPH_STREAM_H
 
+#include "support/Hashing.h"
 #include "wir/IR.h"
 #include "wir/Tape.h"
 
@@ -77,6 +78,9 @@ template <typename T> const T *dynCast(const Stream *S) {
 /// 6 pushes u*m items on the first firing and u*r afterwards).
 class NativeFilter {
 public:
+  NativeFilter();
+  NativeFilter(const NativeFilter &); ///< fresh instance id for the copy
+  NativeFilter &operator=(const NativeFilter &) { return *this; }
   virtual ~NativeFilter();
 
   virtual int peekRate() const = 0;
@@ -105,6 +109,24 @@ public:
 
   /// Fresh-state copy.
   virtual std::unique_ptr<NativeFilter> clone() const = 0;
+
+  /// Mixes this filter's construction parameters into \p H for structural
+  /// hashing (compiler/StructuralHash.h). Two native filters that mix the
+  /// same sequence must be behaviourally identical. Returns false when the
+  /// filter has no content hash; the hasher then falls back to the
+  /// never-reused instanceId(), so such filters never alias in the
+  /// analysis or program caches (cache misses, never wrong sharing).
+  virtual bool hashContent(HashStream &H) const {
+    (void)H;
+    return false;
+  }
+
+  /// Process-unique, never-reused id of this instance (unlike a heap
+  /// address, immune to allocator reuse while cache entries persist).
+  uint64_t instanceId() const { return InstanceId; }
+
+private:
+  uint64_t InstanceId;
 };
 
 class Filter : public Stream {

@@ -2,6 +2,7 @@
 
 #include "linear/Analysis.h"
 
+#include "compiler/AnalysisManager.h"
 #include "support/MathUtil.h"
 
 #include <functional>
@@ -102,7 +103,7 @@ LinearAnalysis::LinearAnalysis(const Stream &Root, Options Opts) : Opts(Opts) {
 
 const LinearNode *LinearAnalysis::nodeFor(const Stream &S) const {
   auto It = Nodes.find(&S);
-  return It == Nodes.end() ? nullptr : &It->second;
+  return It == Nodes.end() ? nullptr : It->second.get();
 }
 
 std::string LinearAnalysis::reasonFor(const Stream &S) const {
@@ -111,38 +112,45 @@ std::string LinearAnalysis::reasonFor(const Stream &S) const {
 }
 
 void LinearAnalysis::analyze(const Stream &S) {
+  AnalysisManager &AM = Opts.AM ? *Opts.AM : AnalysisManager::global();
   switch (S.kind()) {
   case StreamKind::Filter: {
-    ExtractionResult R = extractLinearNode(*cast<Filter>(&S));
-    if (R.Node)
-      Nodes.emplace(&S, std::move(*R.Node));
+    std::shared_ptr<const ExtractionResult> R =
+        AM.extraction(*cast<Filter>(&S));
+    if (R->Node)
+      // Aliasing pointer into the shared (hash-consed) extraction result.
+      Nodes.emplace(&S, std::shared_ptr<const LinearNode>(R, &*R->Node));
     else
-      Reasons.emplace(&S, R.FailureReason);
+      Reasons.emplace(&S, R->FailureReason);
     return;
   }
   case StreamKind::Pipeline: {
     const auto *P = cast<Pipeline>(&S);
     for (const StreamPtr &C : P->children())
       analyze(*C);
-    std::optional<LinearNode> Folded;
+    std::shared_ptr<const LinearNode> Folded;
+    bool First = true;
     for (const StreamPtr &C : P->children()) {
-      const LinearNode *CN = nodeFor(*C);
-      if (!CN) {
+      auto It = Nodes.find(C.get());
+      if (It == Nodes.end()) {
         Reasons.emplace(&S, "child '" + C->name() + "' is nonlinear");
         return;
       }
-      if (!Folded) {
-        Folded = *CN;
+      if (First) {
+        Folded = It->second;
+        First = false;
         continue;
       }
-      Folded = tryCombinePipeline(*Folded, *CN, Opts.MaxMatrixElements);
-      if (!Folded) {
+      std::shared_ptr<const std::optional<LinearNode>> R =
+          AM.combinePipeline(*Folded, *It->second, Opts.MaxMatrixElements);
+      if (!R->has_value()) {
         Reasons.emplace(&S, "pipeline combination exceeds size limit");
         return;
       }
+      Folded = std::shared_ptr<const LinearNode>(R, &**R);
     }
     if (Folded)
-      Nodes.emplace(&S, std::move(*Folded));
+      Nodes.emplace(&S, std::move(Folded));
     else
       Reasons.emplace(&S, "empty pipeline");
     return;
@@ -160,11 +168,14 @@ void LinearAnalysis::analyze(const Stream &S) {
       }
       ChildNodes.push_back(*CN);
     }
-    std::optional<LinearNode> Combined = tryCombineSplitJoin(
-        ChildNodes, SJ->splitter().Kind == Splitter::Duplicate,
-        SJ->splitter().Weights, SJ->joiner().Weights, Opts.MaxMatrixElements);
-    if (Combined)
-      Nodes.emplace(&S, std::move(*Combined));
+    std::shared_ptr<const std::optional<LinearNode>> Combined =
+        AM.combineSplitJoin(ChildNodes,
+                            SJ->splitter().Kind == Splitter::Duplicate,
+                            SJ->splitter().Weights, SJ->joiner().Weights,
+                            Opts.MaxMatrixElements);
+    if (Combined->has_value())
+      Nodes.emplace(
+          &S, std::shared_ptr<const LinearNode>(Combined, &**Combined));
     else
       Reasons.emplace(&S, "splitjoin combination exceeds size limit");
     return;

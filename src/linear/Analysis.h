@@ -16,9 +16,12 @@
 #include "linear/LinearNode.h"
 
 #include <map>
+#include <memory>
 #include <string>
 
 namespace slin {
+
+class AnalysisManager;
 
 /// Pipeline combination with a size guard: returns nothing when the
 /// combined matrix would exceed \p MaxElements entries (or when the lcm
@@ -40,6 +43,11 @@ public:
     /// nonlinear containers (guards against lcm blowup; the paper notes
     /// code-size explosion for Radar without such a restriction).
     size_t MaxMatrixElements = size_t(1) << 24;
+    /// Hash-consed extraction/combination cache to consult; null selects
+    /// the process-global AnalysisManager. Results are shared (not
+    /// copied) with the cache, so structurally identical graphs analyzed
+    /// by different LinearAnalysis instances alias one set of nodes.
+    AnalysisManager *AM = nullptr;
   };
 
   explicit LinearAnalysis(const Stream &Root) : LinearAnalysis(Root, Options()) {}
@@ -69,7 +77,9 @@ private:
   void analyze(const Stream &S);
 
   Options Opts;
-  std::map<const Stream *, LinearNode> Nodes;
+  /// Values alias the AnalysisManager's hash-consed results (or privately
+  /// computed ones); shared_ptr keeps them alive past cache invalidation.
+  std::map<const Stream *, std::shared_ptr<const LinearNode>> Nodes;
   std::map<const Stream *, std::string> Reasons;
   Stats Statistics;
 };

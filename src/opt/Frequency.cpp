@@ -2,6 +2,7 @@
 
 #include "opt/Frequency.h"
 
+#include "compiler/StructuralHash.h"
 #include "fft/FFT.h"
 #include "linear/Analysis.h"
 #include "support/Diag.h"
@@ -23,6 +24,20 @@ public:
   FreqFilterNative(const LinearNode &Node, const FrequencyOptions &Opts)
       : E(Node.peekRate()), U(Node.pushRate()), Optimized(Opts.Optimized),
         Tier(Opts.Tier) {
+    {
+      // Content hash for structural hashing / artifact caching: the full
+      // construction input (node contents + the options that shape the
+      // implementation).
+      HashStream HS;
+      HS.mix(0xf4e9); // class tag
+      HashDigest D = linearNodeHash(Node);
+      HS.mix(D.Lo);
+      HS.mix(D.Hi);
+      HS.mix(Opts.Optimized ? 1 : 0);
+      HS.mixInt(static_cast<int64_t>(Opts.Tier));
+      HS.mixInt(Opts.FFTSizeOverride);
+      Content = HS.digest();
+    }
     N = Opts.FFTSizeOverride
             ? static_cast<size_t>(Opts.FFTSizeOverride)
             : nextPowerOfTwo(static_cast<size_t>(2 * E));
@@ -116,7 +131,14 @@ public:
     return std::make_unique<FreqFilterNative>(*this);
   }
 
+  bool hashContent(HashStream &H) const override {
+    H.mix(Content.Lo);
+    H.mix(Content.Hi);
+    return true;
+  }
+
 private:
+  HashDigest Content;
   /// Reads the input window, transforms it, and fills YCols[j] with the
   /// circular convolution against column j.
   void computeColumns(wir::Tape &T) {
@@ -337,5 +359,10 @@ private:
 StreamPtr slin::replaceFrequency(const Stream &Root, bool Combine,
                                  const FrequencyOptions &Opts) {
   LinearAnalysis LA(Root);
+  return replaceFrequency(Root, LA, Combine, Opts);
+}
+
+StreamPtr slin::replaceFrequency(const Stream &Root, const LinearAnalysis &LA,
+                                 bool Combine, const FrequencyOptions &Opts) {
   return FrequencyReplacer(LA, Combine, Opts).rewrite(Root);
 }

@@ -50,6 +50,12 @@ StreamPtr makeFrequencyStream(const LinearNode &N, const std::string &Name,
 StreamPtr replaceFrequency(const Stream &Root, bool Combine,
                            const FrequencyOptions &Opts);
 
+class LinearAnalysis;
+
+/// As above, reusing a caller-provided analysis of \p Root.
+StreamPtr replaceFrequency(const Stream &Root, const LinearAnalysis &LA,
+                           bool Combine, const FrequencyOptions &Opts);
+
 /// Multiplications per output of the frequency implementation, as a
 /// closed-form estimate used by Figure 5-12's "theory" series:
 /// an N-point real FFT costs ~(N/2)lg(N) multiplies; one firing performs

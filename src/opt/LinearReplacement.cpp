@@ -2,6 +2,7 @@
 
 #include "opt/LinearReplacement.h"
 
+#include "compiler/StructuralHash.h"
 #include "matrix/Kernels.h"
 #include "support/Diag.h"
 #include "wir/Build.h"
@@ -110,11 +111,23 @@ std::unique_ptr<Filter> makeBanded(const LinearNode &N,
   return std::make_unique<Filter>(Name, std::move(Fields), std::move(W));
 }
 
+/// Content hash over a linear node's rates and coefficients, computed at
+/// construction so the runtime kernels need not expose their packed data.
+HashDigest linearContentDigest(uint64_t ClassTag, const LinearNode &N) {
+  HashStream H;
+  H.mix(ClassTag);
+  HashDigest D = linearNodeHash(N);
+  H.mix(D.Lo);
+  H.mix(D.Hi);
+  return H.digest();
+}
+
 /// ATLAS-substitute: native filter calling the tuned gemv kernel.
 class TunedLinearFilter : public NativeFilter {
 public:
   explicit TunedLinearFilter(const LinearNode &N)
       : E(N.peekRate()), O(N.popRate()), U(N.pushRate()),
+        Content(linearContentDigest(0x7e4ed, N)),
         Kernel(N.naturalMatrix(), N.naturalOffsets()), In(E), Out(U) {}
 
   int peekRate() const override { return E; }
@@ -140,8 +153,15 @@ public:
     return std::make_unique<TunedLinearFilter>(*this);
   }
 
+  bool hashContent(HashStream &H) const override {
+    H.mix(Content.Lo);
+    H.mix(Content.Hi);
+    return true;
+  }
+
 private:
   int E, O, U;
+  HashDigest Content;
   TunedGemv Kernel;
   std::vector<double> In;
   std::vector<double> Out;
@@ -153,6 +173,7 @@ class PackedLinearFilter : public NativeFilter {
 public:
   explicit PackedLinearFilter(const LinearNode &N)
       : E(N.peekRate()), O(N.popRate()), U(N.pushRate()),
+        Content(linearContentDigest(0xbacced, N)),
         Kernel(N.naturalMatrix(), N.naturalOffsets()), In(E), Out(U) {}
 
   int peekRate() const override { return E; }
@@ -178,8 +199,15 @@ public:
     return std::make_unique<PackedLinearFilter>(*this);
   }
 
+  bool hashContent(HashStream &H) const override {
+    H.mix(Content.Lo);
+    H.mix(Content.Hi);
+    return true;
+  }
+
 private:
   int E, O, U;
+  HashDigest Content;
   PackedLinearKernel Kernel;
   std::vector<double> In;
   std::vector<double> Out;
@@ -327,5 +355,10 @@ private:
 StreamPtr slin::replaceLinear(const Stream &Root, bool Combine,
                               LinearCodeGenStyle Style) {
   LinearAnalysis LA(Root);
+  return replaceLinear(Root, LA, Combine, Style);
+}
+
+StreamPtr slin::replaceLinear(const Stream &Root, const LinearAnalysis &LA,
+                              bool Combine, LinearCodeGenStyle Style) {
   return LinearReplacer(LA, Combine, Style).rewrite(Root);
 }

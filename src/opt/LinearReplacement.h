@@ -58,6 +58,12 @@ std::unique_ptr<Filter> makeLinearFilter(const LinearNode &N,
 StreamPtr replaceLinear(const Stream &Root, bool Combine,
                         LinearCodeGenStyle Style);
 
+/// As above, reusing a caller-provided analysis of \p Root (the compiler
+/// pipeline runs linear analysis as its own pass and shares the result
+/// across passes).
+StreamPtr replaceLinear(const Stream &Root, const LinearAnalysis &LA,
+                        bool Combine, LinearCodeGenStyle Style);
+
 /// Collapses a maximal run of linear siblings: folds their nodes with
 /// combinePipeline. \p Nodes must be non-empty.
 LinearNode foldPipelineNodes(const std::vector<const LinearNode *> &Nodes);

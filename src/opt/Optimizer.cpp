@@ -2,29 +2,12 @@
 
 #include "opt/Optimizer.h"
 
-#include "support/Diag.h"
-
 using namespace slin;
 
 StreamPtr slin::optimize(const Stream &Root, const OptimizerOptions &Opts) {
-  switch (Opts.Mode) {
-  case OptMode::Base:
-    return Root.clone();
-  case OptMode::Linear:
-    return replaceLinear(Root, Opts.Combine, Opts.CodeGen);
-  case OptMode::Freq:
-    return replaceFrequency(Root, Opts.Combine, Opts.Freq);
-  case OptMode::Redundancy:
-    return replaceRedundancy(Root);
-  case OptMode::AutoSel: {
-    SelectionOptions SO;
-    SO.Freq = Opts.Freq;
-    SO.CodeGen = Opts.CodeGen;
-    SO.Model = Opts.Model;
-    return selectOptimizations(Root, SO);
-  }
-  }
-  unreachable("unknown optimization mode");
+  // Route through the pass pipeline; the transform result is the
+  // optimized stream (lowering only happens for compiled-engine options).
+  return CompilerPipeline(Opts).compile(Root).Optimized;
 }
 
 StreamPtr slin::optimizeBase(const Stream &Root) { return Root.clone(); }

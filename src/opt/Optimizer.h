@@ -7,11 +7,19 @@
 /// paper's knobs (combination on/off, code-generation backend, naive vs
 /// optimized frequency implementation, FFT tier, pop-rate limit).
 ///
+/// These are thin wrappers over the compiler pipeline
+/// (compiler/Pipeline.h): OptMode and the options struct live there —
+/// `OptimizerOptions` is an alias of `PipelineOptions`, which also
+/// carries the engine/exec knobs and cache/diagnostic controls — and
+/// `optimize()` returns the pipeline's rewritten stream, discarding the
+/// compiled artifact (use CompilerPipeline::compile directly to keep it).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLIN_OPT_OPTIMIZER_H
 #define SLIN_OPT_OPTIMIZER_H
 
+#include "compiler/Pipeline.h"
 #include "opt/Frequency.h"
 #include "opt/LinearReplacement.h"
 #include "opt/Redundancy.h"
@@ -19,23 +27,8 @@
 
 namespace slin {
 
-enum class OptMode {
-  Base,       ///< run the program as written
-  Linear,     ///< maximal linear replacement
-  Freq,       ///< maximal frequency replacement
-  Redundancy, ///< redundancy elimination on every linear filter
-  AutoSel     ///< automatic optimization selection (Section 4.3)
-};
-
-struct OptimizerOptions {
-  OptMode Mode = OptMode::Base;
-  /// Combine adjacent linear streams before replacement (Section 3.3);
-  /// the paper's "(nc)" configurations disable this.
-  bool Combine = true;
-  LinearCodeGenStyle CodeGen = LinearCodeGenStyle::Auto;
-  FrequencyOptions Freq;
-  const CostModel *Model = nullptr; ///< AutoSel only; default paper model
-};
+/// The single options struct of the whole compilation stack.
+using OptimizerOptions = PipelineOptions;
 
 /// Applies the selected optimization configuration to \p Root.
 StreamPtr optimize(const Stream &Root, const OptimizerOptions &Opts);

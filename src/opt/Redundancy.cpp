@@ -222,5 +222,10 @@ StreamPtr rewriteRedundancy(const Stream &S, const LinearAnalysis &LA) {
 
 StreamPtr slin::replaceRedundancy(const Stream &Root) {
   LinearAnalysis LA(Root);
+  return replaceRedundancy(Root, LA);
+}
+
+StreamPtr slin::replaceRedundancy(const Stream &Root,
+                                  const LinearAnalysis &LA) {
   return rewriteRedundancy(Root, LA);
 }

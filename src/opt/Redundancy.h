@@ -71,6 +71,11 @@ std::unique_ptr<Filter> makeRedundancyFilter(const LinearNode &N,
 /// to the plain FIR benchmark).
 StreamPtr replaceRedundancy(const Stream &Root);
 
+class LinearAnalysis;
+
+/// As above, reusing a caller-provided analysis of \p Root.
+StreamPtr replaceRedundancy(const Stream &Root, const LinearAnalysis &LA);
+
 } // namespace slin
 
 #endif // SLIN_OPT_REDUNDANCY_H

@@ -2,6 +2,7 @@
 
 #include "opt/Selection.h"
 
+#include "compiler/AnalysisManager.h"
 #include "fft/FFT.h"
 
 #include "sched/Rates.h"
@@ -128,7 +129,11 @@ class Selector {
 public:
   Selector(const Stream &Root, const SelectionOptions &Opts)
       : Opts(Opts), Model(Opts.Model ? *Opts.Model : DefaultModel),
-        LA(Root, makeLAOptions(Opts)) {}
+        AM(Opts.AM ? *Opts.AM : AnalysisManager::global()),
+        OwnedLA(Opts.Analysis
+                    ? nullptr
+                    : new LinearAnalysis(Root, makeLAOptions(Opts))),
+        LA(Opts.Analysis ? *Opts.Analysis : *OwnedLA) {}
 
   StreamPtr run(const Stream &Root) {
     Config C = getCost(Root, Transform::Any);
@@ -141,6 +146,7 @@ private:
   static LinearAnalysis::Options makeLAOptions(const SelectionOptions &O) {
     LinearAnalysis::Options LO;
     LO.MaxMatrixElements = O.MaxMatrixElements;
+    LO.AM = O.AM;
     return LO;
   }
 
@@ -457,12 +463,14 @@ private:
                                  [static_cast<size_t>(Y)]);
         if (!N)
           return std::nullopt;
-        if (!Col)
+        if (!Col) {
           Col = *N;
-        else
-          Col = tryCombinePipeline(*Col, *N, Opts.MaxMatrixElements);
-        if (!Col)
+          continue;
+        }
+        auto R = AM.combinePipeline(*Col, *N, Opts.MaxMatrixElements);
+        if (!R->has_value())
           return std::nullopt;
+        Col = **R;
       }
       Cols.push_back(std::move(*Col));
     }
@@ -497,16 +505,16 @@ private:
       if (!Dup)
         for (int X = X1; X <= X2; ++X)
           SplitW.push_back(SJ->splitter().Weights[static_cast<size_t>(X)]);
-      return tryCombineSplitJoin(Cols, Dup, SplitW, JoinW,
-                                 Opts.MaxMatrixElements);
+      return *AM.combineSplitJoin(Cols, Dup, SplitW, JoinW,
+                                  Opts.MaxMatrixElements);
     }
     // Mid-cut rect: the input is the interleaved interface stream.
     std::vector<int64_t> InFlows;
     for (int X = X1; X <= X2; ++X)
       InFlows.push_back(flowIntoCell(G, X, Y1));
     std::vector<int> SplitW = interfaceWeights(InFlows);
-    return tryCombineSplitJoin(Cols, /*Duplicate=*/false, SplitW, JoinW,
-                               Opts.MaxMatrixElements);
+    return *AM.combineSplitJoin(Cols, /*Duplicate=*/false, SplitW, JoinW,
+                                Opts.MaxMatrixElements);
   }
 
   /// Builds the splitjoin wrapper for a vertical cut at \p XPivot.
@@ -568,7 +576,9 @@ private:
   int FeedbackDepth = 0;
   CostModel DefaultModel;
   const CostModel &Model;
-  LinearAnalysis LA;
+  AnalysisManager &AM;
+  std::unique_ptr<LinearAnalysis> OwnedLA; ///< null when Analysis provided
+  const LinearAnalysis &LA;
   std::map<std::pair<const Stream *, int>, Config> StreamMemo;
   std::map<RectKey, Config> RectMemo;
   std::map<const Stream *, Grid> Grids;

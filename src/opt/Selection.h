@@ -68,11 +68,21 @@ private:
   double PerMult; ///< cost of one inner-loop multiply-accumulate
 };
 
+class AnalysisManager;
+
 struct SelectionOptions {
   FrequencyOptions Freq;
   LinearCodeGenStyle CodeGen = LinearCodeGenStyle::Auto;
   const CostModel *Model = nullptr; ///< default: the paper's model
   size_t MaxMatrixElements = size_t(1) << 22;
+  /// Hash-consed extraction/combination cache (null: process-global).
+  /// The DP's rectangle combinations are memoized here, so repeated
+  /// selections over structurally identical regions — across modes,
+  /// engines and optimize() calls — reuse one combination matrix.
+  AnalysisManager *AM = nullptr;
+  /// Linear analysis of the root to reuse; must have been built with the
+  /// same MaxMatrixElements. Null: the DP builds its own.
+  const LinearAnalysis *Analysis = nullptr;
 };
 
 /// Runs the selection DP on \p Root and returns the rebuilt stream

@@ -213,9 +213,9 @@ RateSignature slin::computeRates(const Stream &S) {
     RateSignature First = computeRates(*P->children().front());
     RateSignature Last = computeRates(*P->children().back());
     RateSignature R;
-    R.Pop = First.Pop * Reps.front();
-    R.Peek = R.Pop + (First.Peek - First.Pop);
-    R.Push = Last.Push * Reps.back();
+    R.Pop = mulSat64(First.Pop, Reps.front());
+    R.Peek = addSat64(R.Pop, First.Peek - First.Pop);
+    R.Push = mulSat64(Last.Push, Reps.back());
     return R;
   }
   case StreamKind::SplitJoin: {
@@ -225,15 +225,16 @@ RateSignature slin::computeRates(const Stream &S) {
     RateSignature R;
     R.Push = 0;
     for (size_t K = 0; K != Children.size(); ++K)
-      R.Push += computeRates(*Children[K]).Push * Reps[K];
+      R.Push = addSat64(
+          R.Push, mulSat64(computeRates(*Children[K]).Push, Reps[K]));
 
     if (SJ->splitter().Kind == Splitter::Duplicate) {
       int64_t MaxPeek = 0;
       int64_t Consumed = 0;
       for (size_t K = 0; K != Children.size(); ++K) {
         RateSignature C = computeRates(*Children[K]);
-        Consumed = C.Pop * Reps[K];
-        MaxPeek = std::max(MaxPeek, C.Pop * Reps[K] + C.Peek - C.Pop);
+        Consumed = mulSat64(C.Pop, Reps[K]);
+        MaxPeek = std::max(MaxPeek, addSat64(Consumed, C.Peek - C.Pop));
       }
       R.Pop = Consumed;
       R.Peek = MaxPeek;
@@ -246,13 +247,14 @@ RateSignature slin::computeRates(const Stream &S) {
         if (SJ->splitter().Weights[K] == 0)
           continue;
         RateSignature C = computeRates(*Children[K]);
-        SplitRep = C.Pop * Reps[K] / SJ->splitter().Weights[K];
+        SplitRep = mulSat64(C.Pop, Reps[K]) / SJ->splitter().Weights[K];
         ExtraPeek = std::max(ExtraPeek, C.Peek - C.Pop);
       }
-      R.Pop = SplitRep * VTot;
+      R.Pop = mulSat64(SplitRep, VTot);
       // Approximation: extra peeking by a child requires up to a full
       // extra splitter cycle of lookahead per extra item window.
-      R.Peek = R.Pop + (ExtraPeek > 0 ? ExtraPeek * VTot : 0);
+      R.Peek =
+          addSat64(R.Pop, ExtraPeek > 0 ? mulSat64(ExtraPeek, VTot) : 0);
     }
     return R;
   }
@@ -261,9 +263,9 @@ RateSignature slin::computeRates(const Stream &S) {
     std::vector<int64_t> Reps = childRepetitions(S);
     RateSignature Body = computeRates(FB->body());
     int64_t JoinCycles =
-        Body.Pop * Reps[0] / FB->joiner().totalWeight();
+        mulSat64(Body.Pop, Reps[0]) / FB->joiner().totalWeight();
     int64_t SplitCycles =
-        Body.Push * Reps[0] / FB->splitter().totalWeight();
+        mulSat64(Body.Push, Reps[0]) / FB->splitter().totalWeight();
     RateSignature R;
     R.Pop = FB->joiner().Weights[0] * JoinCycles;
     R.Peek = R.Pop;

@@ -32,6 +32,27 @@ inline int64_t ceilDiv(int64_t A, int64_t B) {
   return (A + B - 1) / B;
 }
 
+/// Saturating int64 arithmetic for the aggregate-rate solver
+/// (computeRates): repetition counts of extreme candidate rewrites
+/// priced by the selection DP compound multiplicatively through nested
+/// roundrobin interfaces and can exceed int64. Any graph that saturates
+/// here is far past every combination size guard, so clamping at
+/// INT64_MAX where wrapping would be UB never changes a viable
+/// configuration.
+inline int64_t mulSat64(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    return INT64_MAX;
+  return R;
+}
+
+inline int64_t addSat64(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    return INT64_MAX;
+  return R;
+}
+
 /// An exact non-negative rational, used to solve SDF balance equations.
 /// Always kept in lowest terms with a positive denominator.
 class Rational {

@@ -446,7 +446,7 @@ TEST(CompiledExec, MeasureCountsMatchDynamic) {
   MO.MeasureOutputs = 512;
   MO.MeasureTime = false;
   Measurement MD = measureSteadyState(P, MO);
-  MO.Eng = Engine::Compiled;
+  MO.Exec.Eng = Engine::Compiled;
   Measurement MC = measureSteadyState(P, MO);
   EXPECT_NEAR(MD.flopsPerOutput(), MC.flopsPerOutput(), 0.2);
   EXPECT_NEAR(MD.multsPerOutput(), MC.multsPerOutput(), 0.1);

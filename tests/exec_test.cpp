@@ -284,7 +284,7 @@ TEST(Measure, FIRFlopsPerOutput) {
   Opts.WarmupOutputs = 64;
   Opts.MeasureOutputs = 2048;
   Opts.MeasureTime = false;
-  Opts.Exec.BatchLimit = 8; // keep in-flight noise small
+  Opts.Exec.Dynamic.BatchLimit = 8; // keep in-flight noise small
   Measurement M = measureSteadyState(P, Opts);
   // Per output: 8 muls + 8 adds in the FIR, 1 add in the source.
   EXPECT_NEAR(M.multsPerOutput(), 8.0, 0.4);

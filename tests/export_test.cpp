@@ -1,0 +1,84 @@
+//===- tests/export_test.cpp - Stream exporter golden tests ---------------==//
+//
+// Golden-file tests for the DOT/JSON stream exporters (graph/Export.h):
+// the rendered text of a small pipeline and a splitjoin must match the
+// checked-in goldens byte for byte (tests/golden/). The exporters feed
+// the compiler pipeline's dump-after-pass diagnostics, so their output
+// must stay deterministic; regenerate the goldens deliberately when the
+// format changes (the failure message prints the actual text).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Export.h"
+#include "TestGraphs.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace slin;
+using namespace slin::testing_helpers;
+
+namespace {
+
+std::string readGolden(const std::string &Name) {
+  std::string Path = std::string(SLIN_TEST_GOLDEN_DIR) + "/" + Name;
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "missing golden file " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+StreamPtr makeSmallPipeline() {
+  auto P = std::make_unique<Pipeline>("p");
+  P->add(makeCountingSource());
+  P->add(makeFIR({1.0, 2.0, 3.0}, "Fir3"));
+  P->add(makePrinterSink());
+  return P;
+}
+
+StreamPtr makeSmallSplitJoin() {
+  auto Root = std::make_unique<Pipeline>("root");
+  Root->add(makeCountingSource());
+  auto SJ = std::make_unique<SplitJoin>("sj", Splitter::duplicate(),
+                                        Joiner::roundRobin({1, 2}));
+  SJ->add(makeGain(10.0, "Gain10"));
+  {
+    auto Inner = std::make_unique<Pipeline>("inner");
+    Inner->add(makeFIR({1.0, 2.0}, "Fir2"));
+    Inner->add(makeExpander(2));
+    SJ->add(std::move(Inner));
+  }
+  Root->add(std::move(SJ));
+  Root->add(makePrinterSink());
+  return Root;
+}
+
+TEST(Export, PipelineDotGolden) {
+  EXPECT_EQ(streamToDot(*makeSmallPipeline()), readGolden("pipeline.dot"));
+}
+
+TEST(Export, PipelineJsonGolden) {
+  EXPECT_EQ(streamToJson(*makeSmallPipeline()), readGolden("pipeline.json"));
+}
+
+TEST(Export, SplitJoinDotGolden) {
+  EXPECT_EQ(streamToDot(*makeSmallSplitJoin()), readGolden("splitjoin.dot"));
+}
+
+TEST(Export, SplitJoinJsonGolden) {
+  EXPECT_EQ(streamToJson(*makeSmallSplitJoin()), readGolden("splitjoin.json"));
+}
+
+// Exported text must not depend on object identity: a clone renders the
+// same bytes.
+TEST(Export, CloneRendersIdentically) {
+  StreamPtr S = makeSmallSplitJoin();
+  StreamPtr C = S->clone();
+  EXPECT_EQ(streamToDot(*S), streamToDot(*C));
+  EXPECT_EQ(streamToJson(*S), streamToJson(*C));
+}
+
+} // namespace
