@@ -4,11 +4,37 @@
 
 #include "linear/Analysis.h"
 
+#include <algorithm>
+
 using namespace slin;
 
 AnalysisManager &AnalysisManager::global() {
   static AnalysisManager AM;
   return AM;
+}
+
+template <class V>
+void AnalysisManager::evictOver(std::map<HashDigest, Entry<V>> &Map,
+                                size_t Capacity, uint64_t &Evictions) {
+  if (Map.size() <= Capacity)
+    return;
+  // Evict the oldest (excess + capacity/16) entries in one pass: the
+  // slack amortizes the O(n) age scan over the next capacity/16 misses,
+  // instead of rescanning the whole map under the mutex on every miss
+  // at capacity. (Slack is 0 for tiny caps, where exact LRU is cheap.)
+  size_t Target = Capacity - std::min(Capacity / 16, Capacity - 1);
+  std::vector<std::pair<uint64_t, HashDigest>> Ages;
+  Ages.reserve(Map.size());
+  for (const auto &KV : Map)
+    Ages.push_back({KV.second.LastUse, KV.first});
+  size_t NEvict = Map.size() - Target;
+  std::nth_element(Ages.begin(),
+                   Ages.begin() + static_cast<ptrdiff_t>(NEvict - 1),
+                   Ages.end());
+  for (size_t I = 0; I != NEvict; ++I) {
+    Map.erase(Ages[I].second);
+    ++Evictions;
+  }
 }
 
 std::shared_ptr<const ExtractionResult>
@@ -21,7 +47,8 @@ AnalysisManager::extraction(const Filter &F) {
     auto It = Extractions.find(Key);
     if (It != Extractions.end()) {
       ++Counters.ExtractionHits;
-      return It->second;
+      It->second.LastUse = ++UseClock;
+      return It->second.Value;
     }
   }
   // Extraction runs outside the lock (it can be expensive); a racing
@@ -29,7 +56,11 @@ AnalysisManager::extraction(const Filter &F) {
   auto R = std::make_shared<const ExtractionResult>(extractLinearNode(F));
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Counters.ExtractionMisses;
-  return Extractions.emplace(Key, std::move(R)).first->second;
+  auto It = Extractions.emplace(Key, Entry<decltype(R)>{R, ++UseClock}).first;
+  It->second.LastUse = UseClock;
+  auto Result = It->second.Value;
+  evictOver(Extractions, ExtractionCapacity, Counters.ExtractionEvictions);
+  return Result;
 }
 
 std::shared_ptr<const std::optional<LinearNode>>
@@ -56,14 +87,19 @@ AnalysisManager::combinePipeline(const LinearNode &First,
     auto It = Combinations.find(Key);
     if (It != Combinations.end()) {
       ++Counters.CombineHits;
-      return It->second;
+      It->second.LastUse = ++UseClock;
+      return It->second.Value;
     }
   }
   auto R = std::make_shared<const std::optional<LinearNode>>(
       tryCombinePipeline(First, Second, MaxElements));
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Counters.CombineMisses;
-  return Combinations.emplace(Key, std::move(R)).first->second;
+  auto It = Combinations.emplace(Key, Entry<decltype(R)>{R, ++UseClock}).first;
+  It->second.LastUse = UseClock;
+  auto Result = It->second.Value;
+  evictOver(Combinations, CombinationCapacity, Counters.CombineEvictions);
+  return Result;
 }
 
 std::shared_ptr<const std::optional<LinearNode>>
@@ -97,7 +133,8 @@ AnalysisManager::combineSplitJoin(const std::vector<LinearNode> &Children,
     auto It = Combinations.find(Key);
     if (It != Combinations.end()) {
       ++Counters.CombineHits;
-      return It->second;
+      It->second.LastUse = ++UseClock;
+      return It->second.Value;
     }
   }
   auto R = std::make_shared<const std::optional<LinearNode>>(
@@ -105,7 +142,11 @@ AnalysisManager::combineSplitJoin(const std::vector<LinearNode> &Children,
                           MaxElements));
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Counters.CombineMisses;
-  return Combinations.emplace(Key, std::move(R)).first->second;
+  auto It = Combinations.emplace(Key, Entry<decltype(R)>{R, ++UseClock}).first;
+  It->second.LastUse = UseClock;
+  auto Result = It->second.Value;
+  evictOver(Combinations, CombinationCapacity, Counters.CombineEvictions);
+  return Result;
 }
 
 void AnalysisManager::invalidate() {
@@ -124,7 +165,18 @@ bool AnalysisManager::enabled() const {
   return Enabled;
 }
 
+void AnalysisManager::setCapacity(size_t Extractions_, size_t Combinations_) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ExtractionCapacity = Extractions_ ? Extractions_ : 1;
+  CombinationCapacity = Combinations_ ? Combinations_ : 1;
+  evictOver(Extractions, ExtractionCapacity, Counters.ExtractionEvictions);
+  evictOver(Combinations, CombinationCapacity, Counters.CombineEvictions);
+}
+
 AnalysisManager::Stats AnalysisManager::stats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Counters;
+  Stats S = Counters;
+  S.ExtractionEntries = Extractions.size();
+  S.CombineEntries = Combinations.size();
+  return S;
 }

@@ -17,6 +17,11 @@
 /// `setEnabled(false)` turns an instance into a pass-through for
 /// cache-on/off differential testing.
 ///
+/// Both maps are bounded LRU caches (mirroring ProgramCache): rewritten
+/// subtrees hash differently forever, so an unbounded global() would
+/// accumulate dead digests for the life of the process. Evictions are
+/// counted in stats() and capacities are tunable per instance.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLIN_COMPILER_ANALYSISMANAGER_H
@@ -65,20 +70,42 @@ public:
   void setEnabled(bool E);
   bool enabled() const;
 
+  /// Bounds the caches (entries, not bytes); evicts least recently used
+  /// beyond each cap. Minimum effective capacity is 1.
+  void setCapacity(size_t Extractions, size_t Combinations);
+
   struct Stats {
     uint64_t ExtractionHits = 0;
     uint64_t ExtractionMisses = 0;
     uint64_t CombineHits = 0;
     uint64_t CombineMisses = 0;
+    uint64_t ExtractionEvictions = 0;
+    uint64_t CombineEvictions = 0;
+    /// Live entry counts at snapshot time (<= the capacities).
+    uint64_t ExtractionEntries = 0;
+    uint64_t CombineEntries = 0;
   };
   Stats stats() const;
 
 private:
+  template <class V> struct Entry {
+    V Value;
+    uint64_t LastUse = 0;
+  };
+  template <class V>
+  void evictOver(std::map<HashDigest, Entry<V>> &Map, size_t Capacity,
+                 uint64_t &Evictions);
+
   mutable std::mutex Mutex;
   bool Enabled = true;
   Stats Counters;
-  std::map<HashDigest, std::shared_ptr<const ExtractionResult>> Extractions;
-  std::map<HashDigest, std::shared_ptr<const std::optional<LinearNode>>>
+  uint64_t UseClock = 0;
+  size_t ExtractionCapacity = 512;
+  size_t CombinationCapacity = 4096;
+  std::map<HashDigest, Entry<std::shared_ptr<const ExtractionResult>>>
+      Extractions;
+  std::map<HashDigest,
+           Entry<std::shared_ptr<const std::optional<LinearNode>>>>
       Combinations;
 };
 

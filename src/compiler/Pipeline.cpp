@@ -128,8 +128,10 @@ CompileResult CompilerPipeline::compile(const Stream &Root) const {
     SO.Model = Opts.Model;
     SO.MaxMatrixElements = Opts.MaxMatrixElements;
     SO.AM = AM;
-    if (!SO.Model && Opts.Exec.Eng == Engine::Compiled) {
-      // Select for the engine that will run the result.
+    if (!SO.Model && usesCompiledArtifact(Opts.Exec.Eng)) {
+      // Select for the engine that will run the result (the parallel
+      // backend executes the compiled engine's tapes and kernels, so it
+      // shares the compiled coefficients).
       static const MeasuredCostModel CompiledModel{Engine::Compiled};
       SO.Model = &CompiledModel;
     }
@@ -141,7 +143,7 @@ CompileResult CompilerPipeline::compile(const Stream &Root) const {
   dumpAfterPass(Opts, R.Passes.size(), R.Passes.back().Name, *R.Optimized);
 
   // --- Lowering ----------------------------------------------------------
-  if (Opts.Exec.Eng != Engine::Compiled)
+  if (!usesCompiledArtifact(Opts.Exec.Eng))
     return R;
 
   if (Opts.UseProgramCache) {

@@ -5,6 +5,7 @@
 #include "compiler/StructuralHash.h"
 
 #include <chrono>
+#include <cmath>
 
 using namespace slin;
 using namespace slin::flat;
@@ -56,6 +57,118 @@ CompiledProgram::CompiledProgram(const Stream &Root, CompiledOptions Opts)
       A.InitWork = wir::OpProgram::compile(*IW, N.F->fields());
   }
   Stats.TapeSeconds = secondsSince(Start);
+  computeShardInfo();
+}
+
+//===----------------------------------------------------------------------===//
+// Shard feasibility
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Closed-form seeding is exact only when the iterated per-firing update
+/// and the one-shot formula agree bit-for-bit; integers (counters,
+/// cursors) do, arbitrary doubles need not.
+bool exactlyIntegral(double V) {
+  return std::nearbyint(V) == V && std::abs(V) < 9.0e15;
+}
+
+} // namespace
+
+void CompiledProgram::computeShardInfo() {
+  auto Fail = [&](std::string Why) {
+    Shard.Shardable = false;
+    Shard.Reason = std::move(Why);
+    Shard.Seeds.clear();
+  };
+
+  std::vector<int> Depths(Graph.Nodes.size(), 0);
+  for (size_t I = 0; I != Graph.Nodes.size(); ++I) {
+    const flat::Node &N = Graph.Nodes[I];
+    if (N.Kind != flat::NodeKind::Filter)
+      continue; // splitters/joiners reorder items statelessly
+    if (N.F->isNative()) {
+      Depths[I] = N.F->native().stateDepthFirings();
+      if (Depths[I] < 0)
+        return Fail("native filter '" + N.Name +
+                    "' does not declare its state depth");
+      continue;
+    }
+
+    const FilterArtifact &A = Artifacts[I];
+    wir::SteadyStateInfo Steady = A.Work.analyzeSteadyState(N.F->fields());
+    if (!Steady.Reconstructable)
+      return Fail("filter '" + N.Name + "': " + Steady.Reason);
+    wir::SteadyStateInfo Init;
+    bool HasInit = !A.InitWork.empty();
+    if (HasInit) {
+      Init = A.InitWork.analyzeSteadyState(N.F->fields());
+      if (!Init.Reconstructable)
+        return Fail("filter '" + N.Name + "' (init work): " + Init.Reason);
+    }
+
+    // Closed-form fields become FieldSeeds; input-determined fields make
+    // the filter depth-1 (one replayed firing rewrites them). A field
+    // whose init-work update cannot be folded into the closed form (or
+    // that only the init work writes, non-affinely) is irrecoverable.
+    using FK = wir::SteadyStateInfo::FieldKind;
+    const std::vector<wir::FieldDef> &Fields = N.F->fields();
+    for (size_t F = 0; F != Fields.size(); ++F) {
+      const wir::SteadyStateInfo::FieldUpdate *SU =
+          Steady.updateFor(static_cast<int>(F));
+      const wir::SteadyStateInfo::FieldUpdate *IU =
+          HasInit ? Init.updateFor(static_cast<int>(F)) : nullptr;
+      if (!SU && !IU)
+        continue;
+      if (SU && SU->Kind == FK::InputDetermined) {
+        Depths[I] = std::max(Depths[I], 1);
+        continue; // init-work value, if any, is overwritten by warmup
+      }
+      ShardInfo::FieldSeed Seed;
+      Seed.Node = static_cast<int>(I);
+      Seed.Field = static_cast<int>(F);
+      Seed.Base = Fields[F].Init.empty() ? 0.0 : Fields[F].Init[0];
+      double Mod = SU && SU->Kind == FK::ModAffine ? SU->Mod : 0.0;
+      Seed.DeltaRest = SU ? SU->Delta : 0.0;
+      if (IU) {
+        if (IU->Kind == FK::InputDetermined)
+          return Fail("filter '" + N.Name + "' field '" + Fields[F].Name +
+                      "' is set from init-work input");
+        double IMod = IU->Kind == FK::ModAffine ? IU->Mod : 0.0;
+        if (SU && IMod != Mod)
+          return Fail("filter '" + N.Name + "' field '" + Fields[F].Name +
+                      "' mixes moduli between init and steady work");
+        if (!SU)
+          Mod = IMod;
+        Seed.DeltaFirst = IU->Delta;
+      } else {
+        Seed.DeltaFirst = HasInit ? 0.0 : Seed.DeltaRest;
+      }
+      Seed.Modulus = Mod;
+      if (!exactlyIntegral(Seed.Base) || !exactlyIntegral(Seed.DeltaFirst) ||
+          !exactlyIntegral(Seed.DeltaRest) || !exactlyIntegral(Seed.Modulus))
+        return Fail("filter '" + N.Name + "' field '" + Fields[F].Name +
+                    "' progresses by a non-integral step");
+      // Modular cursors: the tape reduces after every firing, the seed
+      // reduces once. The representatives agree only when every partial
+      // sum is non-negative (fmod keeps the dividend's sign) — so
+      // negative bases/deltas, or a modulus too large for exact int64
+      // modular arithmetic, are not seedable.
+      if (Seed.Modulus > 0 &&
+          (Seed.Base < 0 || Seed.DeltaFirst < 0 || Seed.DeltaRest < 0 ||
+           Seed.Modulus > 2147483647.0))
+        return Fail("filter '" + N.Name + "' field '" + Fields[F].Name +
+                    "' is a modular cursor with a negative step");
+      Shard.Seeds.push_back(Seed);
+    }
+  }
+
+  ShardBoundary B = computeShardBoundary(Graph, Sched, Depths);
+  if (!B.Feasible)
+    return Fail(B.Reason);
+  Shard.Shardable = true;
+  Shard.Reason.clear();
+  Shard.WashoutIterations = B.WashoutIterations;
 }
 
 //===----------------------------------------------------------------------===//
@@ -67,10 +180,19 @@ ProgramCache &ProgramCache::global() {
   return Cache;
 }
 
+HashDigest slin::hashOptions(const CompiledOptions &Opts) {
+  HashStream H;
+  H.mix(0xc0f160); // domain tag
+  H.mixInt(Opts.BatchIterations);
+  H.mixInt(Opts.Parallel.Workers);
+  H.mixInt(Opts.Parallel.ShardMinIterations);
+  return H.digest();
+}
+
 CompiledProgramRef ProgramCache::get(const Stream &Root,
                                      const CompiledOptions &Opts,
                                      bool *WasHit) {
-  Key K{structuralHash(Root), Opts.BatchIterations};
+  Key K{structuralHash(Root), hashOptions(Opts)};
   if (WasHit)
     *WasHit = false;
   {

@@ -55,6 +55,34 @@ public:
     double TapeSeconds = 0.0;
   };
 
+  /// Whether (and how) the parallel backend may split a run of this
+  /// program into independently-executed shards of steady iterations
+  /// (exec/Parallel.h). Computed once at compile time from the op tapes'
+  /// state classification (wir::SteadyStateInfo), the native filters'
+  /// stateDepthFirings() and the schedule's washout depth.
+  struct ShardInfo {
+    bool Shardable = false;
+    std::string Reason; ///< why not, when !Shardable
+
+    /// Steady iterations a worker replays before its shard to refresh
+    /// channel contents and input-determined filter state.
+    int64_t WashoutIterations = 0;
+
+    /// Closed-form seeding recipe for a mutable scalar field: its value
+    /// after T firings is Base (T = 0), else Base + DeltaFirst +
+    /// (T - 1) * DeltaRest, reduced modulo Modulus when Modulus > 0.
+    /// DeltaFirst differs from DeltaRest only for init-work filters.
+    struct FieldSeed {
+      int Node = -1;  ///< flat node index
+      int Field = -1; ///< field index within the filter
+      double Base = 0.0;
+      double DeltaFirst = 0.0;
+      double DeltaRest = 0.0;
+      double Modulus = 0.0; ///< 0: plain affine
+    };
+    std::vector<FieldSeed> Seeds;
+  };
+
   /// Compiles \p Root (cloning it first; the clone is owned by the
   /// artifact and outlives every executor instantiated from it).
   CompiledProgram(const Stream &Root, CompiledOptions Opts);
@@ -67,6 +95,7 @@ public:
   const StaticSchedule &schedule() const { return Sched; }
   const CompiledOptions &options() const { return Opts; }
   const BuildStats &buildStats() const { return Stats; }
+  const ShardInfo &shardInfo() const { return Shard; }
 
   /// Artifact for flat node \p NodeIdx (filter nodes only).
   const FilterArtifact &filterArtifact(size_t NodeIdx) const {
@@ -74,6 +103,8 @@ public:
   }
 
 private:
+  void computeShardInfo();
+
   CompiledOptions Opts;
   /// Declared before Graph/Sched: their member initializers record phase
   /// timings into it.
@@ -82,7 +113,14 @@ private:
   flat::FlatGraph Graph;
   StaticSchedule Sched;
   std::vector<FilterArtifact> Artifacts; ///< indexed by node; filters only
+  ShardInfo Shard;
 };
+
+/// Content hash over every field of \p Opts, the options half of the
+/// ProgramCache key. Any CompiledOptions field that shapes the artifact
+/// or its execution must be mixed here; keying on a subset silently
+/// serves artifacts compiled under different options.
+HashDigest hashOptions(const CompiledOptions &Opts);
 
 using CompiledProgramRef = std::shared_ptr<const CompiledProgram>;
 
@@ -109,12 +147,16 @@ public:
   Stats stats() const;
 
 private:
+  /// (structure, options): the options half hashes EVERY CompiledOptions
+  /// field (hashOptions). A subset key — the original keyed on
+  /// BatchIterations alone — returns a stale artifact whenever two
+  /// configurations differ only in the unkeyed fields.
   struct Key {
     HashDigest Digest;
-    int BatchIterations;
+    HashDigest OptsDigest;
     bool operator<(const Key &O) const {
       return Digest != O.Digest ? Digest < O.Digest
-                                : BatchIterations < O.BatchIterations;
+                                : OptsDigest < O.OptsDigest;
     }
   };
   struct Entry {

@@ -5,6 +5,7 @@
 #include "support/Diag.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 using namespace slin;
@@ -287,6 +288,84 @@ size_t CompiledExecutor::outputsProduced() const {
   if (Graph.RootProducesOutput)
     return ExtOut.size();
   return Printed.size();
+}
+
+void CompiledExecutor::runIterations(int64_t Iters) {
+  if (!InitDone) {
+    if (extInAvailable() < static_cast<size_t>(Sched.InitExternalNeed))
+      fatalError("stream graph deadlocked: initialization needs " +
+                 std::to_string(Sched.InitExternalNeed) +
+                 " external input items, have " +
+                 std::to_string(extInAvailable()));
+    runProgram(Sched.InitProgram);
+    compact();
+    InitDone = true;
+  }
+  while (Iters > 0) {
+    if (Iters >= Sched.BatchIterations &&
+        extInAvailable() >= static_cast<size_t>(Sched.BatchExternalNeed)) {
+      runProgram(Sched.BatchProgram);
+      Iters -= Sched.BatchIterations;
+    } else if (extInAvailable() >=
+               static_cast<size_t>(Sched.SteadyExternalNeed)) {
+      runProgram(Sched.SteadyProgram);
+      --Iters;
+    } else {
+      fatalError("stream graph deadlocked: a steady-state iteration needs " +
+                 std::to_string(Sched.SteadyExternalNeed) +
+                 " external input items, have " +
+                 std::to_string(extInAvailable()) + " (" +
+                 std::to_string(Iters) + " iterations remaining)");
+    }
+    compact();
+  }
+}
+
+void CompiledExecutor::seedSteadyState(int64_t StartIteration) {
+  const CompiledProgram::ShardInfo &SI = Prog->shardInfo();
+  assert(SI.Shardable && "seeding requires a shardable program");
+  assert(!InitDone && Firings == 0 && "seed only a fresh executor");
+
+  for (size_t C = 0; C != Channels.size(); ++C) {
+    if (static_cast<int>(C) == Graph.ExternalIn ||
+        static_cast<int>(C) == Graph.ExternalOut)
+      continue;
+    ChannelBuf &B = Channels[C];
+    std::fill(B.Buf.begin(), B.Buf.end(), 0.0);
+    B.Head = 0;
+    B.Tail = static_cast<size_t>(Sched.PostInitLive[C]);
+  }
+
+  // Every filter has logically fired (init work happened long before any
+  // shard boundary); its closed-form state is a function of its global
+  // firing count alone.
+  for (size_t I = 0; I != States.size(); ++I)
+    if (Graph.Nodes[I].Kind == flat::NodeKind::Filter)
+      States[I].FiredOnce = true;
+  for (const CompiledProgram::ShardInfo::FieldSeed &Seed : SI.Seeds) {
+    int64_t T = Sched.InitFirings[static_cast<size_t>(Seed.Node)] +
+                StartIteration *
+                    Sched.Repetitions[static_cast<size_t>(Seed.Node)];
+    double V = Seed.Base;
+    if (T > 0 && Seed.Modulus > 0) {
+      // All components are non-negative integers (enforced by
+      // computeShardInfo), so exact int64 modular arithmetic reproduces
+      // the per-firing fmod reduction's representative for any T.
+      int64_t M = static_cast<int64_t>(Seed.Modulus);
+      int64_t Acc = (static_cast<int64_t>(Seed.Base) +
+                     static_cast<int64_t>(Seed.DeltaFirst)) %
+                    M;
+      int64_t Step = static_cast<int64_t>(Seed.DeltaRest) % M;
+      Acc = (Acc + ((T - 1) % M) * Step) % M;
+      V = static_cast<double>(Acc);
+    } else if (T > 0) {
+      V = Seed.Base + Seed.DeltaFirst +
+          static_cast<double>(T - 1) * Seed.DeltaRest;
+    }
+    States[static_cast<size_t>(Seed.Node)]
+        .Fields.Values[static_cast<size_t>(Seed.Field)][0] = V;
+  }
+  InitDone = true;
 }
 
 void CompiledExecutor::run(size_t NOutputs) {

@@ -72,6 +72,23 @@ public:
   /// when the graph deadlocks (insufficient input / invalid graph).
   void run(size_t NOutputs);
 
+  /// Runs the init program (if not yet run) plus exactly \p Iters steady
+  /// iterations, batch-granular where input allows. The iteration-driven
+  /// counterpart of run() used by the parallel backend, whose shards and
+  /// reference runs must execute identical firing sequences.
+  void runIterations(int64_t Iters);
+
+  /// Places this (freshly instantiated) executor at the state boundary of
+  /// steady iteration \p StartIteration without executing iterations
+  /// 0..StartIteration-1: channels are filled to their post-init live
+  /// counts with placeholder zeros, init firings are marked done, and
+  /// closed-form filter state is seeded exactly per the program's
+  /// ShardInfo. The caller must then replay shardInfo().WashoutIterations
+  /// steady iterations (discarding their outputs) before the state — and
+  /// everything after it — is bit-identical to a sequential run. Only
+  /// valid on shardable programs.
+  void seedSteadyState(int64_t StartIteration);
+
   /// Items on the external output channel (never consumed).
   std::vector<double> outputSnapshot() const { return ExtOut; }
 
@@ -80,6 +97,9 @@ public:
 
   /// Count of observable outputs produced so far.
   size_t outputsProduced() const;
+
+  /// Items on the external output channel (cheap; no snapshot copy).
+  size_t externalOutputCount() const { return ExtOut.size(); }
 
   /// Total node firings so far (diagnostics).
   uint64_t firings() const { return Firings; }

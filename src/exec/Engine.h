@@ -1,11 +1,14 @@
 //===- exec/Engine.h - Execution engine selection ---------------*- C++ -*-===//
 ///
 /// \file
-/// The two execution engines of the runtime: the dynamic data-driven
-/// Executor (tree-walking interpreter, per-sweep readiness scan) and the
+/// The execution engines of the runtime: the dynamic data-driven
+/// Executor (tree-walking interpreter, per-sweep readiness scan), the
 /// compiled batched CompiledExecutor (static firing program, op tapes,
-/// batched matrix kernels). Measurement helpers, the cost model and the
-/// benchmark harness all select an engine through this enum.
+/// batched matrix kernels), and the parallel sharded backend
+/// (exec/Parallel.h) that splits a run's steady iterations across worker
+/// threads, each an independent CompiledExecutor over the same shared
+/// CompiledProgram. Measurement helpers, the cost model and the benchmark
+/// harness all select an engine through this enum.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,13 +18,27 @@
 namespace slin {
 
 enum class Engine {
-  Dynamic, ///< exec/Executor.h
-  Compiled ///< exec/CompiledExecutor.h
+  Dynamic,  ///< exec/Executor.h
+  Compiled, ///< exec/CompiledExecutor.h
+  Parallel  ///< exec/Parallel.h (sharded runs over a CompiledProgram)
 };
 
 inline const char *engineName(Engine E) {
-  return E == Engine::Dynamic ? "dynamic" : "compiled";
+  switch (E) {
+  case Engine::Dynamic:
+    return "dynamic";
+  case Engine::Compiled:
+    return "compiled";
+  case Engine::Parallel:
+    return "parallel";
+  }
+  return "unknown";
 }
+
+/// Engines that execute a lowered CompiledProgram artifact (everything
+/// but the tree interpreter): the pipeline lowers for them, the cost
+/// model prices them with the compiled engine's coefficients.
+inline bool usesCompiledArtifact(Engine E) { return E != Engine::Dynamic; }
 
 } // namespace slin
 

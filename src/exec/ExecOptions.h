@@ -33,12 +33,39 @@ struct DynamicOptions {
   size_t BatchLimit = 1024;
 };
 
-/// Knobs of the compiled batched engine (exec/CompiledExecutor.h).
+/// Knobs of the parallel sharded backend (exec/Parallel.h), which runs
+/// CompiledProgram artifacts across a pool of worker threads.
+struct ParallelOptions {
+  /// Worker threads a sharded run fans out to (also the executor-pool
+  /// size). 0 picks the hardware concurrency.
+  int Workers = 4;
+  /// Minimum steady iterations per shard; a run too short to give every
+  /// worker this much (or a program whose shard-boundary state cannot be
+  /// reconstructed) degrades gracefully to fewer workers / one shard.
+  /// The effective floor is max(ShardMinIterations, washout) — shards
+  /// shorter than the washout would spend more iterations refreshing
+  /// boundary state than executing their span.
+  long long ShardMinIterations = 32;
+
+  bool operator==(const ParallelOptions &O) const {
+    return Workers == O.Workers && ShardMinIterations == O.ShardMinIterations;
+  }
+};
+
+/// Knobs of the compiled batched engine (exec/CompiledExecutor.h) and of
+/// the parallel backend layered on top of it.
+///
+/// NOTE for maintainers: ProgramCache keys artifacts on a hash of EVERY
+/// field of this struct (compiler/Program.cpp hashOptions) — when adding
+/// a field, mix it in there or structurally identical graphs compiled
+/// under different options will silently share one artifact.
 struct CompiledOptions {
   /// Steady-state iterations fused into one batch program. Larger
   /// batches give the batched kernels longer runs (and cost
   /// proportionally more channel memory).
   int BatchIterations = 16;
+  /// Parallel-backend knobs (ignored by plain CompiledExecutor runs).
+  ParallelOptions Parallel;
 };
 
 /// Engine selection plus both engines' knobs.

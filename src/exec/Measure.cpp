@@ -4,6 +4,7 @@
 
 #include "compiler/Program.h"
 #include "exec/CompiledExecutor.h"
+#include "exec/Parallel.h"
 
 #include <chrono>
 
@@ -55,10 +56,16 @@ Measurement measureWith(const MeasureOptions &Opts, MakeExec Make) {
 
 Measurement slin::measureSteadyState(const Stream &Root,
                                      const MeasureOptions &Opts) {
-  if (Opts.Exec.Eng == Engine::Compiled) {
+  if (usesCompiledArtifact(Opts.Exec.Eng)) {
     CompiledProgramRef P =
         Opts.Program ? Opts.Program
                      : ProgramCache::global().get(Root, Opts.Exec.Compiled);
+    if (Opts.Exec.Eng == Engine::Parallel)
+      // Worker-thread op counts fold back into this thread's counters
+      // (ops::accumulate), so the protocol below reads them as usual.
+      return measureWith<ParallelExecutor>(Opts, [&] {
+        return ParallelExecutor(P, Opts.Exec.Compiled.Parallel);
+      });
     return measureWith<CompiledExecutor>(Opts,
                                          [&] { return CompiledExecutor(P); });
   }
@@ -75,6 +82,11 @@ std::vector<double> slin::collectOutputs(const Stream &Root, size_t NOutputs,
       Out.resize(NOutputs);
     return Out;
   };
+  if (Eng == Engine::Parallel) {
+    ParallelExecutor E(ProgramCache::global().get(Root, CompiledOptions()));
+    E.run(NOutputs);
+    return Finish(E.printed(), E.outputSnapshot());
+  }
   if (Eng == Engine::Compiled) {
     CompiledExecutor E(ProgramCache::global().get(Root, CompiledOptions()));
     E.run(NOutputs);

@@ -1,0 +1,405 @@
+//===- exec/Parallel.cpp - Parallel sharded execution backend ----------------==//
+
+#include "exec/Parallel.h"
+
+#include "exec/CompiledExecutor.h"
+#include "support/Diag.h"
+#include "support/MathUtil.h"
+
+#include <algorithm>
+
+using namespace slin;
+
+int slin::resolveWorkerCount(int Requested) {
+  if (Requested > 0)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? static_cast<int>(HW) : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// ParallelExecutor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Items the external input must hold beyond what a program run pops
+/// (peek lookahead of the first consumer; init-work windows).
+int64_t externalLookahead(const StaticSchedule &S) {
+  int64_t E = std::max(S.InitExternalNeed - S.InitExternalPops,
+                       S.SteadyExternalNeed - S.SteadyExternalPops);
+  return std::max(E, S.BatchExternalNeed - S.BatchExternalPops);
+}
+
+} // namespace
+
+ParallelExecutor::ParallelExecutor(CompiledProgramRef Program)
+    : ParallelExecutor(std::move(Program), ParallelOptions()) {
+  Opts = Prog->options().Parallel;
+}
+
+ParallelExecutor::ParallelExecutor(CompiledProgramRef Program,
+                                   ParallelOptions Opts)
+    : Prog(std::move(Program)), Opts(Opts) {
+  assert(Prog && "null program");
+}
+
+ParallelExecutor::~ParallelExecutor() = default;
+
+void ParallelExecutor::provideInput(const std::vector<double> &Items) {
+  In.insert(In.end(), Items.begin(), Items.end());
+}
+
+size_t ParallelExecutor::outputsProduced() const {
+  return Prog->graph().RootProducesOutput ? ExtOut.size() : Printed.size();
+}
+
+int64_t ParallelExecutor::consumedInputItems() const {
+  const StaticSchedule &S = Prog->schedule();
+  return (InitDone ? S.InitExternalPops : 0) +
+         IterationsDone * S.SteadyExternalPops;
+}
+
+/// Executes one shard: seeds (or genuinely initializes) a fresh executor
+/// at the shard boundary, replays the washout with counting off, then
+/// runs the shard span and keeps only its outputs and op deltas.
+void ParallelExecutor::runShard(int64_t Start, int64_t Span, bool Counting,
+                                ShardResult &Result) const {
+  const StaticSchedule &S = Prog->schedule();
+  int64_t Washout = Prog->shardInfo().WashoutIterations;
+  int64_t From = std::max<int64_t>(0, Start - Washout);
+  int64_t Warm = Start - From;
+
+  Result.Exec = std::make_unique<CompiledExecutor>(Prog);
+  CompiledExecutor &E = *Result.Exec;
+  // The shard's input slice: its own pops plus the peek lookahead. A
+  // worker replaying from the stream start (From == 0) runs the real
+  // init program and consumes the init pops too.
+  int64_t Offset = From == 0 ? 0 : S.InitExternalPops + From * S.SteadyExternalPops;
+  int64_t Len = (From == 0 ? S.InitExternalPops : 0) +
+                (Warm + Span) * S.SteadyExternalPops + externalLookahead(S);
+  if (Len > 0 && Offset < static_cast<int64_t>(In.size())) {
+    size_t End = std::min(In.size(), static_cast<size_t>(Offset + Len));
+    E.provideInput(std::vector<double>(In.begin() + Offset, In.begin() + End));
+    Result.InFedEnd = End;
+  }
+
+  if (From > 0)
+    E.seedSteadyState(From);
+  if (Warm > 0 || From > 0) {
+    // Replayed iterations refresh boundary state; their outputs are
+    // discarded below and their ops must not count (a sequential run
+    // executes them once, not once per shard). The Warm == 0 shard at the
+    // true stream start takes no warmup at all: its init program must run
+    // inside the counted span, exactly like a sequential run's.
+    ops::CountingScope Off(false);
+    E.runIterations(Warm);
+  }
+  size_t OutBoundary = E.externalOutputCount();
+  size_t PrintBoundary = E.printed().size();
+
+  OpCounts Before = ops::counts();
+  {
+    ops::CountingScope Scope(Counting);
+    E.runIterations(Span);
+  }
+  Result.Ops = ops::counts() - Before;
+
+  std::vector<double> Out = E.outputSnapshot();
+  Result.Out.assign(Out.begin() + static_cast<ptrdiff_t>(OutBoundary),
+                    Out.end());
+  const std::vector<double> &P = E.printed();
+  Result.Printed.assign(P.begin() + static_cast<ptrdiff_t>(PrintBoundary),
+                        P.end());
+}
+
+CompiledExecutor &ParallelExecutor::seqExecutor() {
+  if (!Seq)
+    Seq = std::make_unique<CompiledExecutor>(Prog);
+  if (SeqInFed < In.size()) {
+    Seq->provideInput(std::vector<double>(
+        In.begin() + static_cast<ptrdiff_t>(SeqInFed), In.end()));
+    SeqInFed = In.size();
+  }
+  return *Seq;
+}
+
+void ParallelExecutor::spliceSeqOutputs(size_t OutBoundary,
+                                        size_t PrintBoundary) {
+  std::vector<double> Out = Seq->outputSnapshot();
+  ExtOut.insert(ExtOut.end(),
+                Out.begin() + static_cast<ptrdiff_t>(OutBoundary), Out.end());
+  const std::vector<double> &P = Seq->printed();
+  Printed.insert(Printed.end(),
+                 P.begin() + static_cast<ptrdiff_t>(PrintBoundary), P.end());
+}
+
+void ParallelExecutor::runSequential(int64_t Iters) {
+  CompiledExecutor &E = seqExecutor();
+  size_t OutBoundary = E.externalOutputCount();
+  size_t PrintBoundary = E.printed().size();
+  E.runIterations(Iters);
+  spliceSeqOutputs(OutBoundary, PrintBoundary);
+}
+
+void ParallelExecutor::runSequentialByOutputs(size_t NOutputs) {
+  CompiledExecutor &E = seqExecutor();
+  size_t OutBoundary = E.externalOutputCount();
+  size_t PrintBoundary = E.printed().size();
+  E.run(NOutputs); // E holds the whole logical stream: same target
+  spliceSeqOutputs(OutBoundary, PrintBoundary);
+}
+
+void ParallelExecutor::runIterations(int64_t Iters) {
+  Stats = RunStats();
+  if (Iters <= 0)
+    return;
+  Stats.Iterations = Iters;
+  const StaticSchedule &S = Prog->schedule();
+
+  const CompiledProgram::ShardInfo &SI = Prog->shardInfo();
+  if (!SI.Shardable) {
+    // The persistent executor does its own input bookkeeping.
+    runSequential(Iters);
+    Stats.ShardsUsed = 1;
+    Stats.Sequential = true;
+    Stats.FallbackReason = SI.Reason;
+    IterationsDone += Iters;
+    InitDone = true;
+    return;
+  }
+
+  // Validate input coverage up front (workers must not hit the engine's
+  // deadlock diagnostics off the main thread).
+  int64_t Required = (InitDone ? 0 : S.InitExternalPops) +
+                     Iters * S.SteadyExternalPops + externalLookahead(S);
+  int64_t Avail = static_cast<int64_t>(In.size()) - consumedInputItems();
+  if (Avail < Required)
+    fatalError("parallel run needs " + std::to_string(Required) +
+               " external input items, have " + std::to_string(Avail));
+
+  // Shards shorter than the washout replay more than they execute; the
+  // floor keeps the fan-out worth its warmup.
+  int64_t MinSpan = std::max<int64_t>(
+      {static_cast<int64_t>(Opts.ShardMinIterations), SI.WashoutIterations, 1});
+  int Workers = resolveWorkerCount(Opts.Workers);
+  int Shards = static_cast<int>(
+      std::min<int64_t>(Workers, std::max<int64_t>(1, Iters / MinSpan)));
+  bool Counting = ops::isCounting();
+
+  if (Shards == 1) {
+    // Single shard: run on the calling thread (its counting scope
+    // already applies — no delta folding). A tail executor adopted from
+    // the previous call sits exactly at IterationsDone and continues
+    // directly, with no re-seeding or washout replay.
+    if (Tail) {
+      if (TailInFed < In.size()) {
+        Tail->provideInput(std::vector<double>(
+            In.begin() + static_cast<ptrdiff_t>(TailInFed), In.end()));
+        TailInFed = In.size();
+      }
+      size_t OutBoundary = Tail->externalOutputCount();
+      size_t PrintBoundary = Tail->printed().size();
+      Tail->runIterations(Iters);
+      std::vector<double> Out = Tail->outputSnapshot();
+      ExtOut.insert(ExtOut.end(),
+                    Out.begin() + static_cast<ptrdiff_t>(OutBoundary),
+                    Out.end());
+      const std::vector<double> &P = Tail->printed();
+      Printed.insert(Printed.end(),
+                     P.begin() + static_cast<ptrdiff_t>(PrintBoundary),
+                     P.end());
+    } else {
+      ShardResult R;
+      runShard(IterationsDone, Iters, Counting, R);
+      Stats.WarmupIterations += std::min(SI.WashoutIterations, IterationsDone);
+      ExtOut.insert(ExtOut.end(), R.Out.begin(), R.Out.end());
+      Printed.insert(Printed.end(), R.Printed.begin(), R.Printed.end());
+      Tail = std::move(R.Exec);
+      TailInFed = R.InFedEnd;
+    }
+    Stats.ShardsUsed = 1;
+    IterationsDone += Iters;
+    InitDone = true;
+    return;
+  }
+
+  // Fanning out: any previous tail is superseded (the new last shard
+  // ends at the new IterationsDone and is adopted below).
+  Tail.reset();
+  int64_t Base = Iters / Shards, Rem = Iters % Shards;
+  std::vector<ShardResult> Results(static_cast<size_t>(Shards));
+  std::vector<std::thread> Threads;
+  Threads.reserve(static_cast<size_t>(Shards));
+  int64_t Start = IterationsDone;
+  for (int I = 0; I != Shards; ++I) {
+    int64_t Span = Base + (I < Rem ? 1 : 0);
+    if (I > 0 || Start > 0)
+      Stats.WarmupIterations += std::min(SI.WashoutIterations, Start);
+    Threads.emplace_back([this, Start, Span, Counting, &Results, I] {
+      runShard(Start, Span, Counting, Results[static_cast<size_t>(I)]);
+    });
+    Start += Span;
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  OpCounts Total;
+  for (ShardResult &R : Results) {
+    ExtOut.insert(ExtOut.end(), R.Out.begin(), R.Out.end());
+    Printed.insert(Printed.end(), R.Printed.begin(), R.Printed.end());
+    Total += R.Ops;
+  }
+  if (Counting)
+    ops::accumulate(Total);
+  Tail = std::move(Results.back().Exec);
+  TailInFed = Results.back().InFedEnd;
+
+  Stats.ShardsUsed = Shards;
+  IterationsDone += Iters;
+  InitDone = true;
+}
+
+void ParallelExecutor::run(size_t NOutputs) {
+  size_t Have = outputsProduced();
+  if (Have >= NOutputs)
+    return;
+  const StaticSchedule &S = Prog->schedule();
+
+  if (!Prog->shardInfo().Shardable) {
+    // Drive the persistent executor's own output-driven loop directly —
+    // identical behavior (including deadlock diagnostics) to a plain
+    // CompiledExecutor::run.
+    Stats = RunStats();
+    runSequentialByOutputs(NOutputs);
+    Stats.ShardsUsed = 1;
+    Stats.Sequential = true;
+    Stats.FallbackReason = Prog->shardInfo().Reason;
+    InitDone = true;
+    return;
+  }
+
+  int64_t PerIter = S.SteadyExternalPushes;
+  if (!Prog->graph().RootProducesOutput) {
+    // Print-driven graph: the schedule cannot count prints statically, so
+    // probe a throwaway executor for two iterations (uncounted) when
+    // enough input exists; otherwise leave the rate unknown and let the
+    // loop below pace itself.
+    if (ProbedPerIterOut < 0 &&
+        static_cast<int64_t>(In.size()) >=
+            S.InitExternalPops + 2 * S.SteadyExternalPops +
+                externalLookahead(S)) {
+      CompiledExecutor E(Prog);
+      ops::CountingScope Off(false);
+      E.provideInput(In);
+      E.runIterations(1);
+      size_t O1 = E.outputsProduced();
+      E.runIterations(1);
+      ProbedPerIterOut = static_cast<int64_t>(E.outputsProduced() - O1);
+    }
+    PerIter = std::max<int64_t>(ProbedPerIterOut, 0);
+  }
+
+  // The rate may be approximate (print counts can vary per iteration),
+  // so loop to the target like the sequential engine does, and fail the
+  // same way it does: a batch-sized span yielding no output is a
+  // deadlock, and exhausted input surfaces runIterations' diagnostic.
+  int64_t Floor = 1;
+  while (outputsProduced() < NOutputs) {
+    size_t Before = outputsProduced();
+    int64_t Deficit = static_cast<int64_t>(NOutputs - Before);
+    int64_t Iters = std::max<int64_t>(
+        PerIter > 0 ? ceilDiv(Deficit, PerIter) : S.BatchIterations, Floor);
+    if (S.SteadyExternalPops > 0) {
+      int64_t Budget = (static_cast<int64_t>(In.size()) -
+                        consumedInputItems() -
+                        (InitDone ? 0 : S.InitExternalPops) -
+                        externalLookahead(S)) /
+                       S.SteadyExternalPops;
+      Iters = std::min(Iters, std::max<int64_t>(Budget, 1));
+    }
+    runIterations(std::max<int64_t>(Iters, 1));
+    if (outputsProduced() == Before) {
+      if (Iters >= S.BatchIterations)
+        fatalError("stream graph deadlocked: steady state produces no "
+                   "observable output");
+      // A short span may legitimately print nothing; escalate to a full
+      // batch before declaring deadlock (input-starved runs terminate
+      // via runIterations' own diagnostic as the budget drains).
+      Floor = S.BatchIterations;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ExecutorPool
+//===----------------------------------------------------------------------===//
+
+ExecutorPool::ExecutorPool(CompiledProgramRef Program, int Workers)
+    : Prog(std::move(Program)) {
+  int N = resolveWorkerCount(Workers > 0 ? Workers
+                                         : Prog->options().Parallel.Workers);
+  Threads.reserve(static_cast<size_t>(N));
+  for (int I = 0; I != N; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ExecutorPool::~ExecutorPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  Ready.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+std::future<ExecutorPool::Result> ExecutorPool::submit(Request R) {
+  Job J;
+  J.Req = std::move(R);
+  std::future<Result> F = J.Promise.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!Stopping && "submit on a stopping pool");
+    Queue.push_back(std::move(J));
+  }
+  Ready.notify_one();
+  return F;
+}
+
+uint64_t ExecutorPool::served() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Served;
+}
+
+void ExecutorPool::workerLoop() {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Ready.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // stopping and drained
+      J = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    CompiledExecutor E(Prog);
+    E.provideInput(J.Req.Input);
+    OpCounts Before = ops::counts();
+    {
+      ops::CountingScope Scope(J.Req.CountOps);
+      E.run(J.Req.NOutputs);
+    }
+    Result R;
+    R.Ops = ops::counts() - Before;
+    R.Outputs = Prog->graph().RootProducesOutput ? E.outputSnapshot()
+                                                 : E.printed();
+    {
+      // Count before fulfilling: a caller that observed the future must
+      // also observe the increment.
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Served;
+    }
+    J.Promise.set_value(std::move(R));
+  }
+}

@@ -1,0 +1,186 @@
+//===- exec/Parallel.h - Parallel sharded execution backend -----*- C++ -*-===//
+///
+/// \file
+/// The multi-threaded execution layer over immutable CompiledProgram
+/// artifacts (compiler/Program.h), in two modes:
+///
+///  * **Sharded steady state** (ParallelExecutor): one run's steady
+///    iterations are split into per-worker shards, each served by an
+///    independent CompiledExecutor instance over the same shared program.
+///    Steady-state stream execution composes: the state at iteration k is
+///    a function of closed-form filter progressions (seeded exactly) plus
+///    a bounded window of recent data (channel leftovers, delay lines,
+///    kernel partials), so a worker jumps to its shard boundary by
+///    seeding and then replaying the schedule's washout depth
+///    (sched/Schedule.h computeShardBoundary) with outputs discarded.
+///    Shard outputs are spliced in order; the result — values AND FLOP
+///    counts — is bit-identical to a single-threaded run of the same
+///    iterations. Programs whose state cannot be reconstructed (feedback
+///    loops, opaque filter state) degrade to an equivalent sequential
+///    run, never to an error.
+///
+///  * **Executor pool** (ExecutorPool): a fixed worker pool serving
+///    concurrent independent run requests against one shared program —
+///    the "compile once, serve many users" path. Each request gets a
+///    fresh CompiledExecutor instance; the artifact is never mutated.
+///
+/// Worker-thread FLOP counts are folded back into the submitting thread's
+/// counters (support/OpCounters.h accumulate), so measurements over the
+/// parallel engine report the same totals as single-threaded runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_EXEC_PARALLEL_H
+#define SLIN_EXEC_PARALLEL_H
+
+#include "compiler/Program.h"
+#include "exec/ExecOptions.h"
+#include "support/OpCounters.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slin {
+
+class CompiledExecutor;
+
+/// Sharded steady-state execution of one logical run. Mirrors the
+/// CompiledExecutor driving surface (provideInput / run / outputSnapshot
+/// / printed / outputsProduced) so measurement and tests can swap the
+/// engines; successive run calls continue the same logical stream, with
+/// every call's iteration span sharded afresh.
+class ParallelExecutor {
+public:
+  /// Uses the parallel knobs baked into the program's options.
+  explicit ParallelExecutor(CompiledProgramRef Program);
+  ParallelExecutor(CompiledProgramRef Program, ParallelOptions Opts);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor &) = delete;
+  ParallelExecutor &operator=(const ParallelExecutor &) = delete;
+
+  /// Appends items to the logical run's external input stream.
+  void provideInput(const std::vector<double> &Items);
+
+  /// Runs until the observable output count reaches \p NOutputs (like
+  /// CompiledExecutor::run, but sharded across workers).
+  void run(size_t NOutputs);
+
+  /// Runs exactly \p Iters further steady iterations, sharded. The
+  /// spliced outputs equal a single-threaded CompiledExecutor's
+  /// runIterations over the same span, bit for bit.
+  void runIterations(int64_t Iters);
+
+  std::vector<double> outputSnapshot() const { return ExtOut; }
+  const std::vector<double> &printed() const { return Printed; }
+  size_t outputsProduced() const;
+  int64_t iterationsDone() const { return IterationsDone; }
+  const CompiledProgram &program() const { return *Prog; }
+
+  /// How the most recent run/runIterations call executed.
+  struct RunStats {
+    int ShardsUsed = 0;
+    int64_t Iterations = 0;        ///< steady iterations this call
+    int64_t WarmupIterations = 0;  ///< replayed (discarded) across shards
+    bool Sequential = false;       ///< fell back to one in-place executor
+    std::string FallbackReason;    ///< why, when Sequential
+  };
+  const RunStats &lastRunStats() const { return Stats; }
+
+private:
+  struct ShardResult {
+    std::vector<double> Out;
+    std::vector<double> Printed;
+    OpCounts Ops;
+    /// The shard's executor, kept alive so the last shard can be adopted
+    /// as the continuation tail (it ends exactly at the new
+    /// IterationsDone).
+    std::unique_ptr<CompiledExecutor> Exec;
+    size_t InFedEnd = 0; ///< global In index fed to Exec so far
+  };
+
+  int64_t consumedInputItems() const;
+  void runShard(int64_t Start, int64_t Span, bool Counting,
+                ShardResult &Result) const;
+  CompiledExecutor &seqExecutor();
+  void spliceSeqOutputs(size_t OutBoundary, size_t PrintBoundary);
+  void runSequential(int64_t Iters);
+  void runSequentialByOutputs(size_t NOutputs);
+
+  CompiledProgramRef Prog;
+  ParallelOptions Opts;
+  std::vector<double> In; ///< full logical input stream, never trimmed
+  std::vector<double> ExtOut;
+  std::vector<double> Printed;
+  int64_t IterationsDone = 0;
+  bool InitDone = false;
+  RunStats Stats;
+  /// Sequential fallback (unshardable programs) keeps real state across
+  /// calls.
+  std::unique_ptr<CompiledExecutor> Seq;
+  size_t SeqInFed = 0; ///< items of In already handed to Seq
+  /// Continuation tail for shardable programs: the previous call's last
+  /// shard executor, positioned exactly at IterationsDone. Short
+  /// follow-up spans run it forward directly — no re-seeding, no washout
+  /// replay, no thread spawn.
+  std::unique_ptr<CompiledExecutor> Tail;
+  size_t TailInFed = 0;
+  /// Lazily probed outputs-per-iteration for print-driven graphs.
+  int64_t ProbedPerIterOut = -1;
+};
+
+/// A fixed pool of worker threads serving independent run requests
+/// against one shared CompiledProgram.
+class ExecutorPool {
+public:
+  struct Request {
+    std::vector<double> Input;
+    size_t NOutputs = 0;
+    bool CountOps = false; ///< fill Result::Ops (adds counting overhead)
+  };
+  struct Result {
+    std::vector<double> Outputs; ///< external channel (or printed) values
+    OpCounts Ops;
+  };
+
+  /// \p Workers = 0 uses the program's parallel options (and 0 there
+  /// falls back to the hardware concurrency).
+  explicit ExecutorPool(CompiledProgramRef Program, int Workers = 0);
+  ~ExecutorPool(); ///< drains queued requests, then joins the workers
+
+  ExecutorPool(const ExecutorPool &) = delete;
+  ExecutorPool &operator=(const ExecutorPool &) = delete;
+
+  std::future<Result> submit(Request R);
+
+  int workers() const { return static_cast<int>(Threads.size()); }
+  uint64_t served() const;
+
+private:
+  struct Job {
+    Request Req;
+    std::promise<Result> Promise;
+  };
+  void workerLoop();
+
+  CompiledProgramRef Prog;
+  mutable std::mutex Mutex;
+  std::condition_variable Ready;
+  std::deque<Job> Queue;
+  bool Stopping = false;
+  uint64_t Served = 0;
+  std::vector<std::thread> Threads;
+};
+
+/// Resolves a worker-count knob: 0 means "ask the hardware" (min 1).
+int resolveWorkerCount(int Requested);
+
+} // namespace slin
+
+#endif // SLIN_EXEC_PARALLEL_H

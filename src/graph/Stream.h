@@ -121,6 +121,14 @@ public:
     return false;
   }
 
+  /// Firings of this filter whose inputs determine its internal state,
+  /// for the parallel backend's shard-boundary reconstruction
+  /// (exec/Parallel.h): 0 = stateless (each firing is a pure function of
+  /// its input window), k > 0 = the state is fully rewritten by the last
+  /// k firings (a warmup replay of k firings reconstructs it), -1 =
+  /// unknown (the default; such filters are never sharded).
+  virtual int stateDepthFirings() const { return -1; }
+
   /// Process-unique, never-reused id of this instance (unlike a heap
   /// address, immune to allocator reuse while cache entries persist).
   uint64_t instanceId() const { return InstanceId; }

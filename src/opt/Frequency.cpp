@@ -128,7 +128,14 @@ public:
   }
 
   std::unique_ptr<NativeFilter> clone() const override {
-    return std::make_unique<FreqFilterNative>(*this);
+    auto C = std::make_unique<FreqFilterNative>(*this);
+    // The copy shares the FFT plan, whose real-path Scratch is mutable
+    // per-call state: clones run concurrently on the parallel backend's
+    // workers, so each gets a private plan (the twiddle tables are cheap
+    // to rebuild).
+    if (C->Plan)
+      C->Plan = std::make_shared<FFTPlan>(C->N);
+    return C;
   }
 
   bool hashContent(HashStream &H) const override {
@@ -136,6 +143,11 @@ public:
     H.mix(Content.Hi);
     return true;
   }
+
+  /// The optimized form carries the previous block's partial sums across
+  /// firings; they are fully rewritten every firing, so one replayed
+  /// firing reconstructs them. The naive form is scratch-only.
+  int stateDepthFirings() const override { return Optimized ? 1 : 0; }
 
 private:
   HashDigest Content;

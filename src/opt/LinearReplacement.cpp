@@ -159,6 +159,9 @@ public:
     return true;
   }
 
+  /// In/Out are per-firing scratch, fully rewritten before use.
+  int stateDepthFirings() const override { return 0; }
+
 private:
   int E, O, U;
   HashDigest Content;
@@ -204,6 +207,9 @@ public:
     H.mix(Content.Hi);
     return true;
   }
+
+  /// In/Out are per-firing scratch, fully rewritten before use.
+  int stateDepthFirings() const override { return 0; }
 
 private:
   int E, O, U;

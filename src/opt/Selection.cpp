@@ -58,8 +58,8 @@ MeasuredCostModel::MeasuredCostModel(Engine Eng)
     // Tree interpreter: ~12 "ops" of tape overhead per item moved and ~2
     // per inner-loop multiply. The compiled engine's op tapes and batched
     // kernels measure at roughly a quarter of both.
-    : PerItem(Eng == Engine::Compiled ? 3.0 : 12.0),
-      PerMult(Eng == Engine::Compiled ? 1.0 : 2.0) {}
+    : PerItem(usesCompiledArtifact(Eng) ? 3.0 : 12.0),
+      PerMult(usesCompiledArtifact(Eng) ? 1.0 : 2.0) {}
 
 double MeasuredCostModel::directCost(const LinearNode &N,
                                      bool SelectionOnly) const {

@@ -461,3 +461,90 @@ StaticSchedule slin::computeSchedule(const FlatGraph &G, int BatchIterations) {
   }
   return S;
 }
+
+//===----------------------------------------------------------------------===//
+// Shard-boundary state computation
+//===----------------------------------------------------------------------===//
+//
+// How many steady iterations does it take for the whole graph's state to
+// be a function of only those iterations' (exact) inputs? Per channel,
+// the leftover items after an iteration are the newest PostInitLive[c],
+// pushed within the last ceil(live / throughput) iterations; each of
+// those pushes is exact once its producer's own state and inputs were
+// exact when it fired. Propagating that recurrence down the (acyclic)
+// flat graph gives the washout depth: the maximum, over nodes, of the
+// node's own state depth plus the staleness of its input channels.
+
+ShardBoundary slin::computeShardBoundary(
+    const flat::FlatGraph &G, const StaticSchedule &S,
+    const std::vector<int> &NodeStateDepth) {
+  ShardBoundary B;
+  assert(NodeStateDepth.size() == G.Nodes.size() &&
+         "state depth per flat node");
+
+  size_t NumNodes = G.Nodes.size();
+  std::vector<int> Producer(G.numChannels(), -1);
+  std::vector<int64_t> Through(G.numChannels(), 0);
+  for (size_t I = 0; I != NumNodes; ++I)
+    for (int C : G.Nodes[I].outputChannels()) {
+      Producer[static_cast<size_t>(C)] = static_cast<int>(I);
+      Through[static_cast<size_t>(C)] =
+          S.Repetitions[I] * G.Nodes[I].pushesTo(C, false);
+    }
+
+  // Flattening order puts every producer before its consumer except on
+  // feedback-loop back edges; state cycles cannot be washed out.
+  for (size_t I = 0; I != NumNodes; ++I)
+    for (int C : G.Nodes[I].inputChannels()) {
+      int P = Producer[static_cast<size_t>(C)];
+      if (P >= static_cast<int>(I)) {
+        B.Reason = "feedback loop: state cycles through '" +
+                   G.Nodes[static_cast<size_t>(P)].Name + "'";
+        return B;
+      }
+    }
+
+  // Staleness of each node's output items, in iterations, once its
+  // inputs are exact; computed in topological (= index) order.
+  std::vector<int64_t> Depth(NumNodes, 0);
+  int64_t Washout = 0;
+  for (size_t I = 0; I != NumNodes; ++I) {
+    if (NodeStateDepth[I] < 0) {
+      B.Reason = "filter '" + G.Nodes[I].Name +
+                 "' carries state that cannot be reconstructed";
+      return B;
+    }
+    // The node's own state spans ceil(k / repetitions) iterations of its
+    // input history; its inputs are stale by channel age plus the
+    // producer's own staleness.
+    int64_t Own = ceilDiv(static_cast<int64_t>(NodeStateDepth[I]),
+                          std::max<int64_t>(S.Repetitions[I], 1));
+    int64_t Stale = 0;
+    for (int C : G.Nodes[I].inputChannels()) {
+      size_t CS = static_cast<size_t>(C);
+      if (C == G.ExternalIn)
+        continue; // exact by construction (the worker's input slice)
+      int P = Producer[CS];
+      if (P < 0)
+        continue;
+      int64_t Live = S.PostInitLive[CS];
+      int64_t Age = 0;
+      if (Live > 0) {
+        if (Through[CS] <= 0) {
+          B.Reason = "channel into '" + G.Nodes[I].Name +
+                     "' holds items that never drain";
+          return B;
+        }
+        Age = ceilDiv(Live, Through[CS]);
+      }
+      Stale = std::max(Stale, Age + Depth[static_cast<size_t>(P)]);
+    }
+    int64_t D = Own + Stale;
+    Depth[I] = D;
+    Washout = std::max(Washout, D);
+  }
+
+  B.Feasible = true;
+  B.WashoutIterations = Washout;
+  return B;
+}

@@ -96,6 +96,32 @@ struct StaticSchedule {
 StaticSchedule computeSchedule(const flat::FlatGraph &G,
                                int BatchIterations = 16);
 
+/// Shard-boundary state computation for the parallel backend
+/// (exec/Parallel.h). A worker reconstructs the runtime state at steady
+/// iteration k by seeding closed-form filter state exactly, filling each
+/// internal channel with PostInitLive placeholder items, and replaying
+/// WashoutIterations steady iterations: after the replay every channel
+/// item and every refreshable filter state has been recomputed from exact
+/// values, so iteration k onward is bit-identical to a sequential run.
+struct ShardBoundary {
+  /// False when boundary state cannot be reconstructed (cyclic topology,
+  /// opaque filter state, or a stateful channel that never drains).
+  bool Feasible = false;
+  std::string Reason; ///< why not, when !Feasible
+
+  /// Steady iterations a worker must replay before its shard so that all
+  /// channel contents and refreshable filter state are exact.
+  int64_t WashoutIterations = 0;
+};
+
+/// Computes the washout depth of \p G under \p S. \p NodeStateDepth gives,
+/// per flat node, the firings of that node whose inputs determine its
+/// internal state (0 = stateless or exactly seeded, k > 0 = rewritten by
+/// the last k firings, -1 = opaque); splitters and joiners pass 0.
+ShardBoundary computeShardBoundary(const flat::FlatGraph &G,
+                                   const StaticSchedule &S,
+                                   const std::vector<int> &NodeStateDepth);
+
 } // namespace slin
 
 #endif // SLIN_SCHED_SCHEDULE_H

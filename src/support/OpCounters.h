@@ -64,6 +64,22 @@ struct OpCounts {
     R.Trans = Trans - O.Trans;
     return R;
   }
+
+  OpCounts &operator+=(const OpCounts &O) {
+    Adds += O.Adds;
+    Subs += O.Subs;
+    Muls += O.Muls;
+    Divs += O.Divs;
+    Cmps += O.Cmps;
+    Trans += O.Trans;
+    return *this;
+  }
+
+  bool operator==(const OpCounts &O) const {
+    return Adds == O.Adds && Subs == O.Subs && Muls == O.Muls &&
+           Divs == O.Divs && Cmps == O.Cmps && Trans == O.Trans;
+  }
+  bool operator!=(const OpCounts &O) const { return !(*this == O); }
 };
 
 namespace ops {
@@ -98,6 +114,18 @@ private:
 
 /// Resets all counters to zero.
 void reset();
+
+/// Folds \p Delta into the calling thread's counters. The parallel
+/// execution layer uses this to aggregate worker-thread op counts (the
+/// counters are thread_local, so ops executed on a worker would otherwise
+/// be invisible to the measuring thread).
+inline void accumulate(const OpCounts &Delta) {
+#if SLIN_COUNT_OPS
+  detail::Counts += Delta;
+#else
+  (void)Delta;
+#endif
+}
 
 inline double add(double A, double B) {
   if (SLIN_COUNT_OPS && detail::Enabled)
