@@ -153,9 +153,14 @@ public:
   }
 
   /// Writes BENCH_<name>.json (also invoked by the destructor; idempotent
-  /// per content change).
+  /// per content change). Output lands in $SLIN_BENCH_DIR when set —
+  /// giving CI one fixed, uploadable location regardless of each
+  /// binary's working directory — and the CWD otherwise.
   void write() {
     std::string Path = "BENCH_" + Name + ".json";
+    if (const char *Dir = std::getenv("SLIN_BENCH_DIR"))
+      if (*Dir)
+        Path = std::string(Dir) + "/" + Path;
     std::FILE *F = std::fopen(Path.c_str(), "w");
     if (!F) {
       std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());

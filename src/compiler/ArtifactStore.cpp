@@ -1,0 +1,1216 @@
+//===- compiler/ArtifactStore.cpp - Disk-persistent artifacts ----------------==//
+
+#include "compiler/ArtifactStore.h"
+
+#include "compiler/StructuralHash.h"
+#include "opt/Frequency.h"
+#include "opt/LinearReplacement.h"
+#include "support/Diag.h"
+#include "support/Serialize.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace slin;
+using namespace slin::serial;
+using namespace slin::wir;
+
+//===----------------------------------------------------------------------===//
+// Native-filter factory registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
+std::map<std::string, NativeFilterFactory> &registry() {
+  static std::map<std::string, NativeFilterFactory> R;
+  return R;
+}
+
+/// The built-in serializable natives live in opt/*.cpp; registering them
+/// explicitly (rather than via static initializers) keeps registration
+/// deterministic under static linking.
+void ensureBuiltinFactories() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    registerFrequencyNativeSerialization();
+    registerLinearNativeSerialization();
+  });
+}
+
+std::unique_ptr<NativeFilter> makeNative(const std::string &Tag, Reader &R) {
+  ensureBuiltinFactories();
+  NativeFilterFactory Factory = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(registryMutex());
+    auto It = registry().find(Tag);
+    if (It != registry().end())
+      Factory = It->second;
+  }
+  if (!Factory) {
+    R.fail(); // unknown class: written by a newer build — treat as miss
+    return nullptr;
+  }
+  return Factory(R);
+}
+
+} // namespace
+
+void slin::registerNativeFilterFactory(const std::string &Tag,
+                                       NativeFilterFactory Factory) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registry()[Tag] = Factory;
+}
+
+//===----------------------------------------------------------------------===//
+// Work-IR serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursion guard for untrusted trees (expressions nest, statements
+/// nest through loops/ifs): deeper than any real work function.
+constexpr int MaxTreeDepth = 256;
+
+void writeExpr(Writer &W, const Expr &E);
+
+void writeExprOpt(Writer &W, const Expr *E) {
+  W.boolean(E != nullptr);
+  if (E)
+    writeExpr(W, *E);
+}
+
+void writeExpr(Writer &W, const Expr &E) {
+  W.u8(static_cast<uint8_t>(E.kind()));
+  switch (E.kind()) {
+  case ExprKind::Const:
+    W.f64(wir::cast<ConstExpr>(&E)->Value);
+    return;
+  case ExprKind::VarRef:
+    W.str(wir::cast<VarRefExpr>(&E)->Name);
+    return;
+  case ExprKind::ArrayRef: {
+    const auto *A = wir::cast<ArrayRefExpr>(&E);
+    W.str(A->Name);
+    writeExpr(W, *A->Index);
+    return;
+  }
+  case ExprKind::FieldRef: {
+    const auto *F = wir::cast<FieldRefExpr>(&E);
+    W.str(F->Name);
+    writeExprOpt(W, F->Index.get());
+    return;
+  }
+  case ExprKind::Peek:
+    writeExpr(W, *wir::cast<PeekExpr>(&E)->Index);
+    return;
+  case ExprKind::Pop:
+    return;
+  case ExprKind::Binary: {
+    const auto *B = wir::cast<BinaryExpr>(&E);
+    W.u8(static_cast<uint8_t>(B->Op));
+    writeExpr(W, *B->LHS);
+    writeExpr(W, *B->RHS);
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto *U = wir::cast<UnaryExpr>(&E);
+    W.u8(static_cast<uint8_t>(U->Op));
+    writeExpr(W, *U->Operand);
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = wir::cast<CallExpr>(&E);
+    W.u8(static_cast<uint8_t>(C->Fn));
+    writeExpr(W, *C->Arg);
+    return;
+  }
+  }
+  unreachable("unknown expr kind");
+}
+
+ExprPtr readExpr(Reader &R, int Depth);
+
+ExprPtr readExprOpt(Reader &R, int Depth) {
+  if (!R.boolean())
+    return nullptr;
+  return readExpr(R, Depth);
+}
+
+ExprPtr readExpr(Reader &R, int Depth) {
+  if (Depth > MaxTreeDepth) {
+    R.fail();
+    return nullptr;
+  }
+  uint8_t Kind = R.u8();
+  if (!R.ok() || Kind > static_cast<uint8_t>(ExprKind::Call)) {
+    R.fail();
+    return nullptr;
+  }
+  switch (static_cast<ExprKind>(Kind)) {
+  case ExprKind::Const:
+    return std::make_unique<ConstExpr>(R.f64());
+  case ExprKind::VarRef:
+    return std::make_unique<VarRefExpr>(R.str());
+  case ExprKind::ArrayRef: {
+    std::string Name = R.str();
+    ExprPtr Index = readExpr(R, Depth + 1);
+    if (!Index)
+      return nullptr;
+    return std::make_unique<ArrayRefExpr>(std::move(Name), std::move(Index));
+  }
+  case ExprKind::FieldRef: {
+    std::string Name = R.str();
+    bool HasIndex = R.boolean();
+    ExprPtr Index;
+    if (HasIndex) {
+      Index = readExpr(R, Depth + 1);
+      if (!Index)
+        return nullptr;
+    }
+    if (!R.ok())
+      return nullptr;
+    return std::make_unique<FieldRefExpr>(std::move(Name), std::move(Index));
+  }
+  case ExprKind::Peek: {
+    ExprPtr Index = readExpr(R, Depth + 1);
+    if (!Index)
+      return nullptr;
+    return std::make_unique<PeekExpr>(std::move(Index));
+  }
+  case ExprKind::Pop:
+    return std::make_unique<PopExpr>();
+  case ExprKind::Binary: {
+    uint8_t Op = R.u8();
+    if (Op > static_cast<uint8_t>(BinOp::LOr)) {
+      R.fail();
+      return nullptr;
+    }
+    ExprPtr LHS = readExpr(R, Depth + 1);
+    ExprPtr RHS = LHS ? readExpr(R, Depth + 1) : nullptr;
+    if (!RHS)
+      return nullptr;
+    return std::make_unique<BinaryExpr>(static_cast<BinOp>(Op),
+                                        std::move(LHS), std::move(RHS));
+  }
+  case ExprKind::Unary: {
+    uint8_t Op = R.u8();
+    if (Op > static_cast<uint8_t>(UnOp::LNot)) {
+      R.fail();
+      return nullptr;
+    }
+    ExprPtr Operand = readExpr(R, Depth + 1);
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(static_cast<UnOp>(Op),
+                                       std::move(Operand));
+  }
+  case ExprKind::Call: {
+    uint8_t Fn = R.u8();
+    if (Fn > static_cast<uint8_t>(Intrinsic::Round)) {
+      R.fail();
+      return nullptr;
+    }
+    ExprPtr Arg = readExpr(R, Depth + 1);
+    if (!Arg)
+      return nullptr;
+    return std::make_unique<CallExpr>(static_cast<Intrinsic>(Fn),
+                                      std::move(Arg));
+  }
+  }
+  unreachable("unknown expr kind");
+}
+
+void writeStmts(Writer &W, const StmtList &Body);
+
+void writeStmt(Writer &W, const Stmt &S) {
+  W.u8(static_cast<uint8_t>(S.kind()));
+  switch (S.kind()) {
+  case StmtKind::Assign: {
+    const auto *A = wir::cast<AssignStmt>(&S);
+    W.str(A->Name);
+    writeExpr(W, *A->Value);
+    return;
+  }
+  case StmtKind::ArrayAssign: {
+    const auto *A = wir::cast<ArrayAssignStmt>(&S);
+    W.str(A->Name);
+    writeExpr(W, *A->Index);
+    writeExpr(W, *A->Value);
+    return;
+  }
+  case StmtKind::FieldAssign: {
+    const auto *F = wir::cast<FieldAssignStmt>(&S);
+    W.str(F->Name);
+    writeExprOpt(W, F->Index.get());
+    writeExpr(W, *F->Value);
+    return;
+  }
+  case StmtKind::LocalArray: {
+    const auto *L = wir::cast<LocalArrayStmt>(&S);
+    W.str(L->Name);
+    W.i32(L->Size);
+    return;
+  }
+  case StmtKind::Push:
+    writeExpr(W, *wir::cast<PushStmt>(&S)->Value);
+    return;
+  case StmtKind::PopDiscard:
+    return;
+  case StmtKind::For: {
+    const auto *F = wir::cast<ForStmt>(&S);
+    W.str(F->Var);
+    writeExpr(W, *F->Begin);
+    writeExpr(W, *F->End);
+    writeStmts(W, F->Body);
+    return;
+  }
+  case StmtKind::If: {
+    const auto *I = wir::cast<IfStmt>(&S);
+    writeExpr(W, *I->Cond);
+    writeStmts(W, I->Then);
+    writeStmts(W, I->Else);
+    return;
+  }
+  case StmtKind::Print:
+    writeExpr(W, *wir::cast<PrintStmt>(&S)->Value);
+    return;
+  case StmtKind::Uncounted:
+    writeStmts(W, wir::cast<UncountedStmt>(&S)->Body);
+    return;
+  }
+  unreachable("unknown stmt kind");
+}
+
+void writeStmts(Writer &W, const StmtList &Body) {
+  W.u32(static_cast<uint32_t>(Body.size()));
+  for (const StmtPtr &S : Body)
+    writeStmt(W, *S);
+}
+
+bool readStmts(Reader &R, StmtList &Out, int Depth);
+
+StmtPtr readStmt(Reader &R, int Depth) {
+  if (Depth > MaxTreeDepth) {
+    R.fail();
+    return nullptr;
+  }
+  uint8_t Kind = R.u8();
+  if (!R.ok() || Kind > static_cast<uint8_t>(StmtKind::Uncounted)) {
+    R.fail();
+    return nullptr;
+  }
+  switch (static_cast<StmtKind>(Kind)) {
+  case StmtKind::Assign: {
+    std::string Name = R.str();
+    ExprPtr Value = readExpr(R, Depth + 1);
+    if (!Value)
+      return nullptr;
+    return std::make_unique<AssignStmt>(std::move(Name), std::move(Value));
+  }
+  case StmtKind::ArrayAssign: {
+    std::string Name = R.str();
+    ExprPtr Index = readExpr(R, Depth + 1);
+    ExprPtr Value = Index ? readExpr(R, Depth + 1) : nullptr;
+    if (!Value)
+      return nullptr;
+    return std::make_unique<ArrayAssignStmt>(std::move(Name),
+                                             std::move(Index),
+                                             std::move(Value));
+  }
+  case StmtKind::FieldAssign: {
+    std::string Name = R.str();
+    ExprPtr Index = readExprOpt(R, Depth + 1);
+    if (!R.ok())
+      return nullptr;
+    ExprPtr Value = readExpr(R, Depth + 1);
+    if (!Value)
+      return nullptr;
+    return std::make_unique<FieldAssignStmt>(std::move(Name),
+                                             std::move(Index),
+                                             std::move(Value));
+  }
+  case StmtKind::LocalArray: {
+    std::string Name = R.str();
+    int Size = R.i32();
+    if (!R.ok() || Size < 0)
+      return nullptr;
+    return std::make_unique<LocalArrayStmt>(std::move(Name), Size);
+  }
+  case StmtKind::Push: {
+    ExprPtr Value = readExpr(R, Depth + 1);
+    if (!Value)
+      return nullptr;
+    return std::make_unique<PushStmt>(std::move(Value));
+  }
+  case StmtKind::PopDiscard:
+    return std::make_unique<PopDiscardStmt>();
+  case StmtKind::For: {
+    std::string Var = R.str();
+    ExprPtr Begin = readExpr(R, Depth + 1);
+    ExprPtr End = Begin ? readExpr(R, Depth + 1) : nullptr;
+    StmtList Body;
+    if (!End || !readStmts(R, Body, Depth + 1))
+      return nullptr;
+    return std::make_unique<ForStmt>(std::move(Var), std::move(Begin),
+                                     std::move(End), std::move(Body));
+  }
+  case StmtKind::If: {
+    ExprPtr Cond = readExpr(R, Depth + 1);
+    StmtList Then, Else;
+    if (!Cond || !readStmts(R, Then, Depth + 1) ||
+        !readStmts(R, Else, Depth + 1))
+      return nullptr;
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else));
+  }
+  case StmtKind::Print: {
+    ExprPtr Value = readExpr(R, Depth + 1);
+    if (!Value)
+      return nullptr;
+    return std::make_unique<PrintStmt>(std::move(Value));
+  }
+  case StmtKind::Uncounted: {
+    StmtList Body;
+    if (!readStmts(R, Body, Depth + 1))
+      return nullptr;
+    return std::make_unique<UncountedStmt>(std::move(Body));
+  }
+  }
+  unreachable("unknown stmt kind");
+}
+
+bool readStmts(Reader &R, StmtList &Out, int Depth) {
+  uint32_t N = R.u32();
+  if (!R.ok() || N > R.remaining()) { // each stmt needs >= 1 byte
+    R.fail();
+    return false;
+  }
+  Out.reserve(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    StmtPtr S = readStmt(R, Depth);
+    if (!S)
+      return false;
+    Out.push_back(std::move(S));
+  }
+  return true;
+}
+
+void writeWork(Writer &W, const WorkFunction &Fn) {
+  W.i32(Fn.PeekRate);
+  W.i32(Fn.PopRate);
+  W.i32(Fn.PushRate);
+  writeStmts(W, Fn.Body);
+}
+
+bool readWork(Reader &R, WorkFunction &Out) {
+  int Peek = R.i32();
+  int Pop = R.i32();
+  int Push = R.i32();
+  StmtList Body;
+  if (!readStmts(R, Body, 0))
+    return false;
+  if (Peek < 0 || Pop < 0 || Push < 0)
+    return false;
+  Out = WorkFunction(Peek, Pop, Push, std::move(Body));
+  return true;
+}
+
+void writeFields(Writer &W, const std::vector<FieldDef> &Fields) {
+  W.u32(static_cast<uint32_t>(Fields.size()));
+  for (const FieldDef &F : Fields) {
+    W.str(F.Name);
+    W.boolean(F.IsArray);
+    W.boolean(F.IsMutable);
+    W.f64s(F.Init);
+  }
+}
+
+bool readFields(Reader &R, std::vector<FieldDef> &Out) {
+  uint32_t N = R.u32();
+  if (!R.ok() || N > R.remaining()) {
+    R.fail();
+    return false;
+  }
+  Out.resize(N);
+  for (FieldDef &F : Out) {
+    F.Name = R.str();
+    F.IsArray = R.boolean();
+    F.IsMutable = R.boolean();
+    F.Init = R.f64s();
+  }
+  return R.ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Stream-tree serialization
+//===----------------------------------------------------------------------===//
+
+enum StreamTag : uint8_t {
+  TagFilterIR = 1,
+  TagFilterNative = 2,
+  TagPipeline = 3,
+  TagSplitJoin = 4,
+  TagFeedback = 5,
+};
+
+bool writeStream(Writer &W, const Stream &S) {
+  switch (S.kind()) {
+  case StreamKind::Filter: {
+    const auto *F = slin::cast<Filter>(&S);
+    if (F->isNative()) {
+      const char *Tag = F->native().serialTag();
+      if (!Tag)
+        return false; // not serializable; the program stays memory-only
+      W.u8(TagFilterNative);
+      W.str(F->name());
+      W.str(Tag);
+      F->native().serializePayload(W);
+      return true;
+    }
+    W.u8(TagFilterIR);
+    W.str(F->name());
+    writeFields(W, F->fields());
+    writeWork(W, F->work());
+    const WorkFunction *IW = F->initWork();
+    W.boolean(IW != nullptr);
+    if (IW)
+      writeWork(W, *IW);
+    return true;
+  }
+  case StreamKind::Pipeline: {
+    const auto *P = slin::cast<Pipeline>(&S);
+    W.u8(TagPipeline);
+    W.str(P->name());
+    W.u32(static_cast<uint32_t>(P->children().size()));
+    for (const StreamPtr &C : P->children())
+      if (!writeStream(W, *C))
+        return false;
+    return true;
+  }
+  case StreamKind::SplitJoin: {
+    const auto *SJ = slin::cast<SplitJoin>(&S);
+    W.u8(TagSplitJoin);
+    W.str(SJ->name());
+    W.u8(static_cast<uint8_t>(SJ->splitter().Kind));
+    W.ints(SJ->splitter().Weights);
+    W.ints(SJ->joiner().Weights);
+    W.u32(static_cast<uint32_t>(SJ->children().size()));
+    for (const StreamPtr &C : SJ->children())
+      if (!writeStream(W, *C))
+        return false;
+    return true;
+  }
+  case StreamKind::FeedbackLoop: {
+    const auto *FB = slin::cast<FeedbackLoop>(&S);
+    W.u8(TagFeedback);
+    W.str(FB->name());
+    W.ints(FB->joiner().Weights);
+    W.u8(static_cast<uint8_t>(FB->splitter().Kind));
+    W.ints(FB->splitter().Weights);
+    W.f64s(FB->enqueued());
+    return writeStream(W, FB->body()) && writeStream(W, FB->loop());
+  }
+  }
+  unreachable("unknown stream kind");
+}
+
+StreamPtr readStream(Reader &R, int Depth) {
+  if (Depth > MaxTreeDepth) {
+    R.fail();
+    return nullptr;
+  }
+  uint8_t Tag = R.u8();
+  if (!R.ok()) {
+    R.fail();
+    return nullptr;
+  }
+  switch (Tag) {
+  case TagFilterIR: {
+    std::string Name = R.str();
+    std::vector<FieldDef> Fields;
+    WorkFunction Work;
+    if (!readFields(R, Fields) || !readWork(R, Work))
+      return nullptr;
+    auto F = std::make_unique<Filter>(std::move(Name), std::move(Fields),
+                                      std::move(Work));
+    if (R.boolean()) {
+      WorkFunction Init;
+      if (!readWork(R, Init))
+        return nullptr;
+      F->setInitWork(std::move(Init));
+    }
+    if (!R.ok())
+      return nullptr;
+    return F;
+  }
+  case TagFilterNative: {
+    std::string Name = R.str();
+    std::string NativeTag = R.str();
+    if (!R.ok())
+      return nullptr;
+    std::unique_ptr<NativeFilter> N = makeNative(NativeTag, R);
+    if (!N || !R.ok()) {
+      R.fail();
+      return nullptr;
+    }
+    return std::make_unique<Filter>(std::move(Name), std::move(N));
+  }
+  case TagPipeline: {
+    std::string Name = R.str();
+    uint32_t Count = R.u32();
+    if (!R.ok() || Count == 0 || Count > R.remaining()) {
+      R.fail();
+      return nullptr;
+    }
+    auto P = std::make_unique<Pipeline>(std::move(Name));
+    for (uint32_t I = 0; I != Count; ++I) {
+      StreamPtr C = readStream(R, Depth + 1);
+      if (!C)
+        return nullptr;
+      P->add(std::move(C));
+    }
+    return P;
+  }
+  case TagSplitJoin: {
+    std::string Name = R.str();
+    uint8_t SplitKind = R.u8();
+    std::vector<int> SplitWeights = R.ints();
+    std::vector<int> JoinWeights = R.ints();
+    uint32_t Count = R.u32();
+    if (!R.ok() || SplitKind > Splitter::RoundRobin || Count == 0 ||
+        Count > R.remaining()) {
+      R.fail();
+      return nullptr;
+    }
+    Splitter Split = SplitKind == Splitter::Duplicate
+                         ? Splitter::duplicate()
+                         : Splitter::roundRobin(std::move(SplitWeights));
+    auto SJ = std::make_unique<SplitJoin>(
+        std::move(Name), std::move(Split),
+        Joiner::roundRobin(std::move(JoinWeights)));
+    for (uint32_t I = 0; I != Count; ++I) {
+      StreamPtr C = readStream(R, Depth + 1);
+      if (!C)
+        return nullptr;
+      SJ->add(std::move(C));
+    }
+    return SJ;
+  }
+  case TagFeedback: {
+    std::string Name = R.str();
+    std::vector<int> JoinWeights = R.ints();
+    uint8_t SplitKind = R.u8();
+    std::vector<int> SplitWeights = R.ints();
+    std::vector<double> Enqueued = R.f64s();
+    if (!R.ok() || SplitKind > Splitter::RoundRobin) {
+      R.fail();
+      return nullptr;
+    }
+    StreamPtr Body = readStream(R, Depth + 1);
+    StreamPtr Loop = Body ? readStream(R, Depth + 1) : nullptr;
+    if (!Loop)
+      return nullptr;
+    Splitter Split = SplitKind == Splitter::Duplicate
+                         ? Splitter::duplicate()
+                         : Splitter::roundRobin(std::move(SplitWeights));
+    return std::make_unique<FeedbackLoop>(
+        std::move(Name), Joiner::roundRobin(std::move(JoinWeights)),
+        std::move(Body), std::move(Loop), std::move(Split),
+        std::move(Enqueued));
+  }
+  default:
+    R.fail();
+    return nullptr;
+  }
+}
+
+/// Filters in canonical DFS order (pipeline/splitjoin children in order,
+/// feedback body before loop) — identical on both sides of a round trip,
+/// so the flat graph can reference filters by index.
+void collectFilters(const Stream &S, std::vector<const Filter *> &Out) {
+  switch (S.kind()) {
+  case StreamKind::Filter:
+    Out.push_back(slin::cast<Filter>(&S));
+    return;
+  case StreamKind::Pipeline:
+    for (const StreamPtr &C : slin::cast<Pipeline>(&S)->children())
+      collectFilters(*C, Out);
+    return;
+  case StreamKind::SplitJoin:
+    for (const StreamPtr &C : slin::cast<SplitJoin>(&S)->children())
+      collectFilters(*C, Out);
+    return;
+  case StreamKind::FeedbackLoop: {
+    const auto *FB = slin::cast<FeedbackLoop>(&S);
+    collectFilters(FB->body(), Out);
+    collectFilters(FB->loop(), Out);
+    return;
+  }
+  }
+  unreachable("unknown stream kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Flat graph serialization
+//===----------------------------------------------------------------------===//
+
+void writeFlatGraph(Writer &W, const flat::FlatGraph &G,
+                    const std::map<const Filter *, int> &FilterIdx) {
+  W.u32(static_cast<uint32_t>(G.Nodes.size()));
+  for (const flat::Node &N : G.Nodes) {
+    W.u8(static_cast<uint8_t>(N.Kind));
+    W.str(N.Name);
+    W.i32(N.F ? FilterIdx.at(N.F) : -1);
+    W.i32(N.In);
+    W.i32(N.Out);
+    W.ints(N.Ins);
+    W.ints(N.Outs);
+    W.ints(N.Weights);
+  }
+  W.u32(static_cast<uint32_t>(G.InitialItems.size()));
+  for (const std::vector<double> &Items : G.InitialItems)
+    W.f64s(Items);
+  W.i32(G.ExternalIn);
+  W.i32(G.ExternalOut);
+  W.boolean(G.RootProducesOutput);
+}
+
+bool channelInRange(int C, size_t NumChannels) {
+  return C >= -1 && C < static_cast<int>(NumChannels);
+}
+
+bool readFlatGraph(Reader &R, const std::vector<const Filter *> &Filters,
+                   flat::FlatGraph &Out) {
+  uint32_t NumNodes = R.u32();
+  if (!R.ok() || NumNodes > R.remaining()) {
+    R.fail();
+    return false;
+  }
+  Out.Nodes.resize(NumNodes);
+  for (flat::Node &N : Out.Nodes) {
+    uint8_t Kind = R.u8();
+    if (!R.ok() || Kind > static_cast<uint8_t>(flat::NodeKind::RRJoin)) {
+      R.fail();
+      return false;
+    }
+    N.Kind = static_cast<flat::NodeKind>(Kind);
+    N.Name = R.str();
+    int FIdx = R.i32();
+    N.In = R.i32();
+    N.Out = R.i32();
+    N.Ins = R.ints();
+    N.Outs = R.ints();
+    N.Weights = R.ints();
+    bool IsFilter = N.Kind == flat::NodeKind::Filter;
+    if (!R.ok() || FIdx < (IsFilter ? 0 : -1) || (!IsFilter && FIdx != -1) ||
+        (IsFilter && static_cast<size_t>(FIdx) >= Filters.size())) {
+      R.fail();
+      return false;
+    }
+    N.F = IsFilter ? Filters[static_cast<size_t>(FIdx)] : nullptr;
+  }
+  uint32_t NumChannels = R.u32();
+  if (!R.ok() || NumChannels > R.remaining()) {
+    R.fail();
+    return false;
+  }
+  Out.InitialItems.resize(NumChannels);
+  for (std::vector<double> &Items : Out.InitialItems)
+    Items = R.f64s();
+  Out.ExternalIn = R.i32();
+  Out.ExternalOut = R.i32();
+  Out.RootProducesOutput = R.boolean();
+  if (!R.ok())
+    return false;
+  // Every channel reference must be a real channel (the executors trust
+  // these indices).
+  for (const flat::Node &N : Out.Nodes) {
+    if (!channelInRange(N.In, NumChannels) ||
+        !channelInRange(N.Out, NumChannels))
+      return false;
+    for (int C : N.Ins)
+      if (!channelInRange(C, NumChannels))
+        return false;
+    for (int C : N.Outs)
+      if (!channelInRange(C, NumChannels))
+        return false;
+  }
+  return channelInRange(Out.ExternalIn, NumChannels) &&
+         channelInRange(Out.ExternalOut, NumChannels);
+}
+
+//===----------------------------------------------------------------------===//
+// Shard-info serialization
+//===----------------------------------------------------------------------===//
+
+void writeShardInfo(Writer &W, const CompiledProgram::ShardInfo &S) {
+  W.boolean(S.Shardable);
+  W.str(S.Reason);
+  W.i64(S.WashoutIterations);
+  W.u32(static_cast<uint32_t>(S.Seeds.size()));
+  for (const CompiledProgram::ShardInfo::FieldSeed &Seed : S.Seeds) {
+    W.i32(Seed.Node);
+    W.i32(Seed.Field);
+    W.f64(Seed.Base);
+    W.f64(Seed.DeltaFirst);
+    W.f64(Seed.DeltaRest);
+    W.f64(Seed.Modulus);
+  }
+}
+
+bool readShardInfo(Reader &R, CompiledProgram::ShardInfo &Out) {
+  Out.Shardable = R.boolean();
+  Out.Reason = R.str();
+  Out.WashoutIterations = R.i64();
+  uint32_t N = R.u32();
+  // Each seed occupies 40 bytes on the wire.
+  if (!R.ok() || static_cast<uint64_t>(N) * 40 > R.remaining()) {
+    R.fail();
+    return false;
+  }
+  Out.Seeds.resize(N);
+  for (CompiledProgram::ShardInfo::FieldSeed &Seed : Out.Seeds) {
+    Seed.Node = R.i32();
+    Seed.Field = R.i32();
+    Seed.Base = R.f64();
+    Seed.DeltaFirst = R.f64();
+    Seed.DeltaRest = R.f64();
+    Seed.Modulus = R.f64();
+  }
+  return R.ok();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Whole-program serialization
+//===----------------------------------------------------------------------===//
+
+bool slin::serializeProgram(Writer &W, const CompiledProgram &P) {
+  // Engine options — destructured so a new field breaks the build here
+  // (mirroring hashOptions' exhaustiveness check) instead of silently
+  // round-tripping to its default.
+  const auto &[BatchIterations, Parallel] = P.options();
+  const auto &[Workers, ShardMinIterations] = Parallel;
+  W.i32(BatchIterations);
+  W.i32(Workers);
+  W.i64(ShardMinIterations);
+
+  if (!writeStream(W, P.root()))
+    return false;
+
+  std::vector<const Filter *> Filters;
+  collectFilters(P.root(), Filters);
+  std::map<const Filter *, int> FilterIdx;
+  for (size_t I = 0; I != Filters.size(); ++I)
+    FilterIdx[Filters[I]] = static_cast<int>(I);
+
+  writeFlatGraph(W, P.graph(), FilterIdx);
+  serializeSchedule(W, P.schedule());
+
+  // Per-node compiled forms. Native prototypes live in the stream tree;
+  // here they are just marked so the loader rewires the pointer.
+  for (size_t I = 0; I != P.graph().Nodes.size(); ++I) {
+    const flat::Node &N = P.graph().Nodes[I];
+    if (N.Kind != flat::NodeKind::Filter) {
+      W.u8(0);
+      continue;
+    }
+    const CompiledProgram::FilterArtifact &A = P.filterArtifact(I);
+    if (A.Native) {
+      W.u8(1);
+      continue;
+    }
+    W.u8(A.InitWork.empty() ? 2 : 3);
+    A.Work.serialize(W);
+    if (!A.InitWork.empty())
+      A.InitWork.serialize(W);
+  }
+
+  writeShardInfo(W, P.shardInfo());
+  return true;
+}
+
+std::shared_ptr<const CompiledProgram> slin::deserializeProgram(Reader &R) {
+  ensureBuiltinFactories();
+  CompiledProgram::Parts Parts;
+
+  auto &Opts = Parts.Opts;
+  Opts.BatchIterations = R.i32();
+  Opts.Parallel.Workers = R.i32();
+  Opts.Parallel.ShardMinIterations = R.i64();
+  if (!R.ok() || Opts.BatchIterations < 1)
+    return nullptr;
+
+  Parts.Root = readStream(R, 0);
+  if (!Parts.Root)
+    return nullptr;
+
+  std::vector<const Filter *> Filters;
+  collectFilters(*Parts.Root, Filters);
+
+  if (!readFlatGraph(R, Filters, Parts.Graph))
+    return nullptr;
+  if (!deserializeSchedule(R, Parts.Sched))
+    return nullptr;
+
+  const size_t NumNodes = Parts.Graph.Nodes.size();
+  const size_t NumChannels = Parts.Graph.numChannels();
+  // The schedule's per-node and per-channel tables must match the graph
+  // (the executors index them without checks).
+  if (Parts.Sched.Repetitions.size() != NumNodes ||
+      Parts.Sched.InitFirings.size() != NumNodes ||
+      Parts.Sched.ChannelHighWater.size() != NumChannels ||
+      Parts.Sched.ChannelBufSize.size() != NumChannels ||
+      Parts.Sched.PostInitLive.size() != NumChannels)
+    return nullptr;
+  auto ValidSteps = [&](const FiringProgram &P) {
+    for (const FiringStep &S : P)
+      if (S.Node < 0 || static_cast<size_t>(S.Node) >= NumNodes ||
+          S.Count < 0)
+        return false;
+    return true;
+  };
+  if (!ValidSteps(Parts.Sched.InitProgram) ||
+      !ValidSteps(Parts.Sched.SteadyProgram) ||
+      !ValidSteps(Parts.Sched.BatchProgram))
+    return nullptr;
+
+  Parts.Artifacts.resize(NumNodes);
+  for (size_t I = 0; I != NumNodes; ++I) {
+    const flat::Node &N = Parts.Graph.Nodes[I];
+    uint8_t Form = R.u8();
+    if (!R.ok())
+      return nullptr;
+    bool IsFilter = N.Kind == flat::NodeKind::Filter;
+    if (Form == 0) {
+      if (IsFilter)
+        return nullptr;
+      continue;
+    }
+    if (!IsFilter)
+      return nullptr;
+    CompiledProgram::FilterArtifact &A = Parts.Artifacts[I];
+    if (Form == 1) {
+      if (!N.F->isNative())
+        return nullptr;
+      A.Native = &N.F->native();
+      continue;
+    }
+    if (Form > 3 || N.F->isNative())
+      return nullptr;
+    if (!wir::OpProgram::deserialize(R, A.Work))
+      return nullptr;
+    if (Form == 3 && !wir::OpProgram::deserialize(R, A.InitWork))
+      return nullptr;
+  }
+
+  if (!readShardInfo(R, Parts.Shard))
+    return nullptr;
+  for (const CompiledProgram::ShardInfo::FieldSeed &Seed :
+       Parts.Shard.Seeds) {
+    if (Seed.Node < 0 || static_cast<size_t>(Seed.Node) >= NumNodes)
+      return nullptr;
+    const flat::Node &N = Parts.Graph.Nodes[static_cast<size_t>(Seed.Node)];
+    if (N.Kind != flat::NodeKind::Filter || N.F->isNative() ||
+        Seed.Field < 0 ||
+        static_cast<size_t>(Seed.Field) >= N.F->fields().size())
+      return nullptr;
+  }
+
+  if (!R.ok() || !R.atEnd())
+    return nullptr;
+  return std::make_shared<const CompiledProgram>(std::move(Parts));
+}
+
+//===----------------------------------------------------------------------===//
+// The store
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint64_t ArtifactMagic = 0x315452414E494C53ULL; // "SLINART1"
+constexpr uint64_t AliasMagic = 0x3159454B4E494C53ULL;    // "SLINKEY1"
+constexpr uint32_t FormatVersion = 1;
+
+struct GlobalStore {
+  std::mutex Mutex;
+  bool Resolved = false;
+  std::unique_ptr<ArtifactStore> Store;
+};
+
+GlobalStore &globalStore() {
+  static GlobalStore G;
+  return G;
+}
+
+/// Creates \p Dir (and parents) best-effort; existing directories are
+/// fine, failures surface later as plain I/O misses.
+void makeDirs(const std::string &Dir) {
+  std::string Path;
+  for (size_t I = 0; I <= Dir.size(); ++I) {
+    if (I != Dir.size() && Dir[I] != '/') {
+      Path.push_back(Dir[I]);
+      continue;
+    }
+    if (!Path.empty())
+      ::mkdir(Path.c_str(), 0755);
+    if (I != Dir.size())
+      Path.push_back('/');
+  }
+}
+
+bool readWholeFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  if (Size < 0) {
+    std::fclose(F);
+    return false;
+  }
+  std::fseek(F, 0, SEEK_SET);
+  Out.resize(static_cast<size_t>(Size));
+  bool Ok = Size == 0 || std::fread(Out.data(), 1, Out.size(), F) ==
+                             Out.size();
+  std::fclose(F);
+  return Ok;
+}
+
+} // namespace
+
+uint32_t ArtifactStore::formatVersion() { return FormatVersion; }
+
+uint32_t ArtifactStore::buildFlags() {
+#if defined(SLIN_COUNT_OPS) && SLIN_COUNT_OPS == 0
+  return 0;
+#else
+  return 1; // op accounting compiled in
+#endif
+}
+
+ArtifactStore::ArtifactStore(std::string Directory)
+    : Dir(std::move(Directory)) {
+  ensureBuiltinFactories();
+  makeDirs(Dir);
+}
+
+ArtifactStore *ArtifactStore::global() {
+  GlobalStore &G = globalStore();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  if (!G.Resolved) {
+    G.Resolved = true;
+    const char *Dir = std::getenv("SLIN_ARTIFACT_DIR");
+    if (Dir && *Dir)
+      G.Store = std::make_unique<ArtifactStore>(Dir);
+  }
+  return G.Store.get();
+}
+
+ArtifactStore *ArtifactStore::enabledGlobal() {
+  // The cache kill-switch disables the disk tier too (checked per call:
+  // tests flip it at runtime).
+  if (std::getenv("SLIN_NO_CACHE"))
+    return nullptr;
+  return global();
+}
+
+void ArtifactStore::setGlobalDir(const std::string &Directory) {
+  GlobalStore &G = globalStore();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  G.Resolved = true;
+  G.Store = Directory.empty() ? nullptr
+                              : std::make_unique<ArtifactStore>(Directory);
+}
+
+std::string ArtifactStore::pathFor(const Key &K) const {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "a-v%u-f%u-", formatVersion(),
+                buildFlags());
+  return Dir + "/" + Buf + K.Structure.str() + "-" + K.Options.str() +
+         ".slin";
+}
+
+std::string ArtifactStore::aliasPathFor(const HashDigest &PipelineKey) const {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "k-v%u-f%u-", formatVersion(),
+                buildFlags());
+  return Dir + "/" + Buf + PipelineKey.str() + ".slin";
+}
+
+bool ArtifactStore::contains(const Key &K) const {
+  return ::access(pathFor(K).c_str(), R_OK) == 0;
+}
+
+bool ArtifactStore::writeAtomic(const std::string &Path,
+                                const std::vector<uint8_t> &Header,
+                                const std::vector<uint8_t> &Payload) {
+  // Unique temp name per writer; rename() publishes atomically, so a
+  // concurrent reader sees either nothing or a complete file, and racing
+  // writers of the same key overwrite each other with identical bytes.
+  static std::atomic<uint64_t> Seq{0};
+  char Suffix[64];
+  std::snprintf(Suffix, sizeof(Suffix), ".tmp.%ld.%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    Seq.fetch_add(1, std::memory_order_relaxed)));
+  std::string Tmp = Path + Suffix;
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok =
+      (Header.empty() ||
+       std::fwrite(Header.data(), 1, Header.size(), F) == Header.size()) &&
+      (Payload.empty() ||
+       std::fwrite(Payload.data(), 1, Payload.size(), F) == Payload.size());
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok || std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ArtifactStore::store(const Key &K, const CompiledProgram &P) {
+  Writer Payload;
+  if (!serializeProgram(Payload, P))
+    return false;
+  HashDigest PayloadHash =
+      hashBytes(Payload.bytes().data(), Payload.size());
+
+  Writer Header;
+  Header.u64(ArtifactMagic);
+  Header.u32(formatVersion());
+  Header.u32(buildFlags());
+  Header.u64(K.Structure.Lo);
+  Header.u64(K.Structure.Hi);
+  Header.u64(K.Options.Lo);
+  Header.u64(K.Options.Hi);
+  Header.u64(PayloadHash.Lo);
+  Header.u64(PayloadHash.Hi);
+  Header.u64(Payload.size());
+
+  if (!writeAtomic(pathFor(K), Header.bytes(), Payload.bytes()))
+    return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Counters.Stores;
+  return true;
+}
+
+std::shared_ptr<const CompiledProgram> ArtifactStore::load(const Key &K) {
+  auto Miss = [&](bool FilePresent) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.Misses;
+    if (FilePresent)
+      ++Counters.LoadFailures;
+    return nullptr;
+  };
+
+  std::vector<uint8_t> Bytes;
+  if (!readWholeFile(pathFor(K), Bytes))
+    return Miss(false);
+
+  constexpr size_t HeaderSize = 8 + 4 + 4 + 6 * 8 + 8;
+  if (Bytes.size() < HeaderSize)
+    return Miss(true);
+  Reader H(Bytes.data(), HeaderSize);
+  uint64_t Magic = H.u64();
+  uint32_t Version = H.u32();
+  uint32_t Flags = H.u32();
+  HashDigest Structure{H.u64(), H.u64()};
+  HashDigest Options{H.u64(), H.u64()};
+  HashDigest PayloadHash{H.u64(), H.u64()};
+  uint64_t PayloadSize = H.u64();
+  if (Magic != ArtifactMagic || Version != formatVersion() ||
+      Flags != buildFlags() || !(Structure == K.Structure) ||
+      !(Options == K.Options) ||
+      PayloadSize != Bytes.size() - HeaderSize)
+    return Miss(true);
+
+  const uint8_t *Payload = Bytes.data() + HeaderSize;
+  if (!(hashBytes(Payload, PayloadSize) == PayloadHash))
+    return Miss(true); // bit rot: recompile, never serve stale bytes
+
+  Reader R(Payload, PayloadSize);
+  auto Program = deserializeProgram(R);
+  if (!Program)
+    return Miss(true);
+  // Defense in depth: the reconstructed stream must hash to the key it
+  // was stored under, and its options must match the options digest.
+  if (!(structuralHash(Program->root()) == K.Structure) ||
+      !(hashOptions(Program->options()) == K.Options))
+    return Miss(true);
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Counters.Hits;
+  return Program;
+}
+
+bool ArtifactStore::storeAlias(const HashDigest &PipelineKey,
+                               const Key &Artifact) {
+  Writer Body;
+  Body.u64(PipelineKey.Lo);
+  Body.u64(PipelineKey.Hi);
+  Body.u64(Artifact.Structure.Lo);
+  Body.u64(Artifact.Structure.Hi);
+  Body.u64(Artifact.Options.Lo);
+  Body.u64(Artifact.Options.Hi);
+  HashDigest BodyHash = hashBytes(Body.bytes().data(), Body.size());
+
+  Writer Header;
+  Header.u64(AliasMagic);
+  Header.u32(formatVersion());
+  Header.u32(buildFlags());
+  Header.u64(BodyHash.Lo);
+  Header.u64(BodyHash.Hi);
+  return writeAtomic(aliasPathFor(PipelineKey), Header.bytes(),
+                     Body.bytes());
+}
+
+bool ArtifactStore::loadAlias(const HashDigest &PipelineKey,
+                              Key &Out) const {
+  std::vector<uint8_t> Bytes;
+  if (!readWholeFile(aliasPathFor(PipelineKey), Bytes))
+    return false;
+  Reader R(Bytes.data(), Bytes.size());
+  uint64_t Magic = R.u64();
+  uint32_t Version = R.u32();
+  uint32_t Flags = R.u32();
+  HashDigest BodyHash{R.u64(), R.u64()};
+  if (!R.ok() || Magic != AliasMagic || Version != formatVersion() ||
+      Flags != buildFlags() || R.remaining() != 6 * 8)
+    return false;
+  const uint8_t *Body = Bytes.data() + (Bytes.size() - R.remaining());
+  if (!(hashBytes(Body, R.remaining()) == BodyHash))
+    return false;
+  HashDigest StoredKey{R.u64(), R.u64()};
+  Out.Structure = {R.u64(), R.u64()};
+  Out.Options = {R.u64(), R.u64()};
+  if (!R.ok() || !(StoredKey == PipelineKey))
+    return false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.AliasHits;
+  }
+  return true;
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
+void ArtifactStore::resetStats() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters = Stats();
+}

@@ -1,0 +1,155 @@
+//===- compiler/ArtifactStore.h - Disk-persistent artifacts -----*- C++ -*-===//
+///
+/// \file
+/// Disk persistence for CompiledProgram artifacts — the "compile once,
+/// cheap forever" promise extended past process exit. A compiled
+/// steady-state program is a pure value determined by the stream's
+/// structural hash and the full engine options, so it is safe to share
+/// across processes and fleets; this store is the content-addressed
+/// filesystem tier beneath the in-memory ProgramCache.
+///
+/// Layout: one file per artifact inside the directory named by
+/// SLIN_ARTIFACT_DIR (no store when unset; SLIN_NO_CACHE=1 disables the
+/// tier at runtime). Filenames and headers carry the full cache key —
+/// {structural hash, hashOptions digest, format version, build flags} —
+/// and the header additionally carries a checksum of the payload bytes.
+/// A reader accepts a file only when every header field matches and the
+/// checksum verifies; anything else (corrupt, truncated, version bump,
+/// foreign build flags) is a plain miss that falls back to a clean
+/// recompile. Writes go to a temp file renamed into place, so concurrent
+/// writers and crashed processes never publish a partial artifact.
+///
+/// Alias records map a *pipeline-level* key (pre-optimization structural
+/// hash + the full pipeline configuration) to an artifact key, letting a
+/// warm process skip every compiler pass — analysis, selection,
+/// replacement and lowering — not just the lowering half.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_COMPILER_ARTIFACTSTORE_H
+#define SLIN_COMPILER_ARTIFACTSTORE_H
+
+#include "compiler/Program.h"
+#include "support/Hashing.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace slin {
+
+namespace serial {
+class Writer;
+class Reader;
+} // namespace serial
+
+class ArtifactStore {
+public:
+  /// The on-disk cache key: which graph, compiled under which engine
+  /// options. Format version and build flags are keyed implicitly (file
+  /// name + header).
+  struct Key {
+    HashDigest Structure; ///< structuralHash of the compiled stream
+    HashDigest Options;   ///< hashOptions(CompiledOptions)
+  };
+
+  explicit ArtifactStore(std::string Directory);
+
+  /// The process-global store configured by SLIN_ARTIFACT_DIR (resolved
+  /// once, on first use); null when the variable is unset or empty.
+  static ArtifactStore *global();
+
+  /// global(), unless SLIN_NO_CACHE is set (checked per call: the cache
+  /// kill-switch must also bypass the disk tier).
+  static ArtifactStore *enabledGlobal();
+
+  /// Re-points the process-global store at \p Directory (empty string:
+  /// no store). Test/bench hook; not thread-safe against concurrent
+  /// global() users.
+  static void setGlobalDir(const std::string &Directory);
+
+  const std::string &dir() const { return Dir; }
+
+  /// True when an artifact file for \p K exists (no validation).
+  bool contains(const Key &K) const;
+
+  /// Serializes \p P and atomically publishes it under \p K. Returns
+  /// false when the program is not serializable (a native filter without
+  /// a serialTag) or on I/O failure — callers lose nothing but the tier.
+  bool store(const Key &K, const CompiledProgram &P);
+
+  /// Loads and validates the artifact for \p K; null on any miss or
+  /// validation failure (corrupt, truncated, wrong version/flags/key).
+  std::shared_ptr<const CompiledProgram> load(const Key &K);
+
+  /// Publishes a pipeline-key → artifact-key alias record.
+  bool storeAlias(const HashDigest &PipelineKey, const Key &Artifact);
+
+  /// Resolves a pipeline key to an artifact key; false on miss.
+  bool loadAlias(const HashDigest &PipelineKey, Key &Out) const;
+
+  struct Stats {
+    uint64_t Hits = 0;         ///< artifact loads that validated
+    uint64_t Misses = 0;       ///< loads with no usable file
+    uint64_t Stores = 0;       ///< artifacts published
+    uint64_t LoadFailures = 0; ///< files present but rejected (subset of Misses)
+    uint64_t AliasHits = 0;
+  };
+  Stats stats() const;
+  void resetStats();
+
+  /// Bumped whenever the serialized layout changes; old files become
+  /// plain misses (never mis-parsed: the header is checked first).
+  static uint32_t formatVersion();
+
+  /// Build-configuration word mixed into the key (currently whether op
+  /// accounting is compiled in — tapes run identically either way, but
+  /// artifacts are kept per-configuration by policy).
+  static uint32_t buildFlags();
+
+  /// Artifact file path for \p K (for tests that corrupt/patch files).
+  std::string pathFor(const Key &K) const;
+
+private:
+  std::string aliasPathFor(const HashDigest &PipelineKey) const;
+  bool writeAtomic(const std::string &Path,
+                   const std::vector<uint8_t> &Header,
+                   const std::vector<uint8_t> &Payload);
+
+  std::string Dir;
+  mutable std::mutex Mutex;
+  mutable Stats Counters; ///< loadAlias (const) counts its hits
+};
+
+//===----------------------------------------------------------------------===//
+// Native-filter factory registry
+//===----------------------------------------------------------------------===//
+
+/// Reconstructs a native filter from the payload its serializePayload
+/// wrote; returns null on malformed input.
+using NativeFilterFactory = std::unique_ptr<NativeFilter> (*)(serial::Reader &);
+
+/// Registers \p Factory for NativeFilter::serialTag() == \p Tag
+/// (last registration wins; registration is thread-safe).
+void registerNativeFilterFactory(const std::string &Tag,
+                                 NativeFilterFactory Factory);
+
+//===----------------------------------------------------------------------===//
+// Raw program serialization (store-independent; tests use this directly)
+//===----------------------------------------------------------------------===//
+
+/// Writes the complete artifact payload: engine options, the optimized
+/// stream (work IR, fields, native prototypes), the flat graph, the
+/// static schedule, every op tape, and the shard-boundary metadata.
+/// Returns false when a native filter is not serializable (\p W is then
+/// partially written; discard it).
+bool serializeProgram(serial::Writer &W, const CompiledProgram &P);
+
+/// Rebuilds a program from payload bytes; null on malformed input. The
+/// result reports loadedFromArtifact() and zero BuildStats — no compiler
+/// pass runs.
+std::shared_ptr<const CompiledProgram> deserializeProgram(serial::Reader &R);
+
+} // namespace slin
+
+#endif // SLIN_COMPILER_ARTIFACTSTORE_H

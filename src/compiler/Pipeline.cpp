@@ -3,6 +3,8 @@
 #include "compiler/Pipeline.h"
 
 #include "compiler/AnalysisManager.h"
+#include "compiler/ArtifactStore.h"
+#include "compiler/StructuralHash.h"
 #include "graph/Export.h"
 #include "linear/Analysis.h"
 #include "opt/Redundancy.h"
@@ -85,11 +87,92 @@ std::string analysisNote(const LinearAnalysis &LA) {
   return Buf;
 }
 
+/// Pipeline-level persistent cache key: the *pre-optimization* structure
+/// plus every configuration knob that shapes what the passes produce. A
+/// warm process that resolves this key through the artifact store's
+/// alias records skips analysis, selection, replacement AND lowering —
+/// the "zero compiler passes" load path. Returns false when the
+/// configuration cannot be keyed: no compiled artifact requested, the
+/// program cache bypassed, dump-after-pass side effects wanted, or a
+/// cost model that does not content-hash.
+bool pipelineAliasKey(const Stream &Root, const PipelineOptions &Opts,
+                      HashDigest &Out) {
+  // Destructured for the same compile-time exhaustiveness guarantee as
+  // hashOptions: a new PipelineOptions (or FrequencyOptions) field fails
+  // to compile here until it is either mixed into the key or explicitly
+  // discarded below as non-semantic — it can never silently alias stored
+  // compiles produced under different configurations.
+  const auto &[Mode, Combine, CodeGen, Freq, Model, MaxMatrixElements, Exec,
+               AM, UseProgramCache, DumpDir] = Opts;
+  // Non-semantic knobs: the analysis cache only memoizes pure functions,
+  // and a bypassed program cache / requested pass dumps disable aliasing
+  // entirely rather than key it.
+  (void)AM;
+  if (!usesCompiledArtifact(Exec.Eng) || !UseProgramCache ||
+      !DumpDir.empty())
+    return false;
+  HashStream H;
+  H.mix(0xa11a5); // domain tag
+  hashStream(H, Root);
+  H.mixInt(static_cast<int64_t>(Mode));
+  H.mix(Combine ? 1 : 0);
+  H.mixInt(static_cast<int64_t>(CodeGen));
+  const auto &[FreqOptimized, FreqTier, FreqFFTSizeOverride, FreqPopLimit] =
+      Freq;
+  H.mix(FreqOptimized ? 1 : 0);
+  H.mixInt(static_cast<int64_t>(FreqTier));
+  H.mixInt(FreqFFTSizeOverride);
+  H.mixInt(FreqPopLimit);
+  if (!Model) {
+    H.mix(0); // default model (engine-substituted deterministically)
+  } else {
+    H.mix(1);
+    if (!Model->hashContent(H))
+      return false;
+  }
+  H.mix(MaxMatrixElements);
+  // Of ExecOptions, only the compiled-engine knobs shape the artifact:
+  // every artifact engine runs the same tapes/kernels (selection
+  // substitutes one shared compiled-engine model), and DynamicOptions
+  // never reach the compiled path.
+  HashDigest OD = hashOptions(Exec.Compiled);
+  H.mix(OD.Lo);
+  H.mix(OD.Hi);
+  Out = H.digest();
+  return true;
+}
+
 } // namespace
 
 CompileResult CompilerPipeline::compile(const Stream &Root) const {
   CompileResult R;
   AnalysisManager *AM = Opts.AM ? Opts.AM : &AnalysisManager::global();
+
+  // --- Persistent-artifact fast path -------------------------------------
+  // A prior process (or this one, pre-cache-clear) that compiled this
+  // exact (stream, configuration) left an alias record pointing at its
+  // artifact; resolving it replaces every pass below with one load.
+  ArtifactStore *Store = ArtifactStore::enabledGlobal();
+  HashDigest AliasKey;
+  bool Keyed = Store && pipelineAliasKey(Root, Opts, AliasKey);
+  if (Keyed) {
+    ArtifactStore::Key AK;
+    if (Store->loadAlias(AliasKey, AK)) {
+      auto Loaded = runPass(R, "artifact-load", [&] {
+        return ProgramCache::global().lookup(AK.Structure, AK.Options);
+      });
+      if (Loaded) {
+        R.Program = std::move(Loaded);
+        R.ProgramCacheHit = true;
+        R.Optimized = R.Program->root().clone();
+        R.Passes.back().Note = R.Program->loadedFromArtifact()
+                                   ? "disk artifact hit"
+                                   : "program cache hit";
+        return R;
+      }
+      R.Passes.pop_back(); // stale alias: fall through to a full compile
+    }
+  }
 
   // --- Transformation passes --------------------------------------------
   switch (Opts.Mode) {
@@ -160,7 +243,9 @@ CompileResult CompilerPipeline::compile(const Stream &Root) const {
     });
   }
   if (R.ProgramCacheHit) {
-    R.Passes.back().Note = "program cache hit";
+    R.Passes.back().Note = R.Program->loadedFromArtifact()
+                               ? "disk artifact hit"
+                               : "program cache hit";
   } else {
     // Split the lowering pass into its recorded phases.
     const CompiledProgram::BuildStats &BS = R.Program->buildStats();
@@ -171,6 +256,16 @@ CompileResult CompilerPipeline::compile(const Stream &Root) const {
     std::snprintf(Buf, sizeof(Buf), "B=%d",
                   R.Program->options().BatchIterations);
     R.Passes.push_back({"tape-compile", BS.TapeSeconds, Buf});
+  }
+  // Leave a pipeline-key → artifact-key alias so the next warm start
+  // resolves this configuration without running any pass. Only aliases
+  // to artifacts that actually persisted (a program with an
+  // unserializable native stays memory-only) are worth writing.
+  if (Keyed && R.Program) {
+    ArtifactStore::Key AK{structuralHash(*R.Optimized),
+                          hashOptions(Opts.Exec.Compiled)};
+    if (Store->contains(AK))
+      Store->storeAlias(AliasKey, AK);
   }
   return R;
 }

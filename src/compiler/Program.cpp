@@ -2,6 +2,7 @@
 
 #include "compiler/Program.h"
 
+#include "compiler/ArtifactStore.h"
 #include "compiler/StructuralHash.h"
 
 #include <chrono>
@@ -59,6 +60,11 @@ CompiledProgram::CompiledProgram(const Stream &Root, CompiledOptions Opts)
   Stats.TapeSeconds = secondsSince(Start);
   computeShardInfo();
 }
+
+CompiledProgram::CompiledProgram(Parts P)
+    : Opts(P.Opts), Root(std::move(P.Root)), Graph(std::move(P.Graph)),
+      Sched(std::move(P.Sched)), Artifacts(std::move(P.Artifacts)),
+      Shard(std::move(P.Shard)), FromArtifact(true) {}
 
 //===----------------------------------------------------------------------===//
 // Shard feasibility
@@ -181,11 +187,18 @@ ProgramCache &ProgramCache::global() {
 }
 
 HashDigest slin::hashOptions(const CompiledOptions &Opts) {
+  // Compile-time exhaustiveness: the structured bindings name EVERY field
+  // of CompiledOptions and ParallelOptions — adding a field to either
+  // struct fails to compile here ("N names provided for M elements")
+  // until it is mixed in, so a new knob can never silently alias
+  // artifacts compiled under different options.
+  const auto &[BatchIterations, Parallel] = Opts;
+  const auto &[Workers, ShardMinIterations] = Parallel;
   HashStream H;
   H.mix(0xc0f160); // domain tag
-  H.mixInt(Opts.BatchIterations);
-  H.mixInt(Opts.Parallel.Workers);
-  H.mixInt(Opts.Parallel.ShardMinIterations);
+  H.mixInt(BatchIterations);
+  H.mixInt(Workers);
+  H.mixInt(ShardMinIterations);
   return H.digest();
 }
 
@@ -195,31 +208,96 @@ CompiledProgramRef ProgramCache::get(const Stream &Root,
   Key K{structuralHash(Root), hashOptions(Opts)};
   if (WasHit)
     *WasHit = false;
+  ArtifactStore *Store = ArtifactStore::enabledGlobal();
+  ArtifactStore::Key AK{K.Digest, K.OptsDigest};
+  {
+    CompiledProgramRef Hit;
+    bool NeedsPublish = false;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      auto It = Entries.find(K);
+      if (It != Entries.end()) {
+        ++Counters.Hits;
+        It->second.LastUse = ++UseClock;
+        Hit = It->second.Program;
+        // Publish memory-only programs (compiled before the store was
+        // configured) so alias records and sibling processes can find
+        // them — once; steady-state hits stay disk-free.
+        NeedsPublish = Store && !It->second.Published;
+        It->second.Published = true;
+      }
+    }
+    if (Hit) {
+      if (WasHit)
+        *WasHit = true;
+      if (NeedsPublish && !Store->contains(AK) && Store->store(AK, *Hit)) {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Counters.DiskStores;
+      }
+      return Hit;
+    }
+  }
+
+  // Disk tier (outside the lock: file I/O and deserialization are slow).
+  if (Store) {
+    if (auto Loaded = Store->load(AK)) {
+      if (WasHit)
+        *WasHit = true;
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counters.DiskHits;
+      return insertLocked(K, std::move(Loaded), /*Published=*/true);
+    }
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.DiskMisses;
+  }
+
+  // Compile outside the lock; a racing duplicate compile of the same
+  // structure is wasteful but correct (first insert wins).
+  auto Program = std::make_shared<const CompiledProgram>(Root, Opts);
+  if (Store && Store->store(AK, *Program)) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.DiskStores;
+  }
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return insertLocked(K, std::move(Program), /*Published=*/Store != nullptr,
+                      WasHit);
+}
+
+CompiledProgramRef ProgramCache::lookup(const HashDigest &Structure,
+                                        const HashDigest &OptsDigest) {
+  Key K{Structure, OptsDigest};
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     auto It = Entries.find(K);
     if (It != Entries.end()) {
       ++Counters.Hits;
       It->second.LastUse = ++UseClock;
-      if (WasHit)
-        *WasHit = true;
       return It->second.Program;
     }
   }
-  // Compile outside the lock; a racing duplicate compile of the same
-  // structure is wasteful but correct (first insert wins).
-  auto Program = std::make_shared<const CompiledProgram>(Root, Opts);
+  ArtifactStore *Store = ArtifactStore::enabledGlobal();
+  if (!Store)
+    return nullptr;
+  auto Loaded = Store->load({Structure, OptsDigest});
   std::lock_guard<std::mutex> Lock(Mutex);
-  auto [It, Inserted] = Entries.emplace(K, Entry{Program, ++UseClock});
+  if (!Loaded) {
+    ++Counters.DiskMisses;
+    return nullptr;
+  }
+  ++Counters.DiskHits;
+  return insertLocked(K, std::move(Loaded), /*Published=*/true);
+}
+
+/// Inserts under the already-held lock, counting a miss (or, when a
+/// racing thread inserted first, a hit) and evicting beyond capacity.
+CompiledProgramRef ProgramCache::insertLocked(const Key &K,
+                                              CompiledProgramRef Program,
+                                              bool Published, bool *WasHit) {
+  auto [It, Inserted] =
+      Entries.emplace(K, Entry{std::move(Program), ++UseClock, Published});
   if (Inserted) {
     ++Counters.Misses;
-    while (Entries.size() > Capacity) {
-      auto Oldest = Entries.begin();
-      for (auto I = Entries.begin(); I != Entries.end(); ++I)
-        if (I->second.LastUse < Oldest->second.LastUse)
-          Oldest = I;
-      Entries.erase(Oldest);
-    }
+    evictToCapacityLocked();
   } else {
     // A racing thread inserted the same key first; count as a hit.
     ++Counters.Hits;
@@ -238,9 +316,28 @@ void ProgramCache::clear() {
 void ProgramCache::setCapacity(size_t N) {
   std::lock_guard<std::mutex> Lock(Mutex);
   Capacity = N ? N : 1;
+  evictToCapacityLocked();
+}
+
+void ProgramCache::evictToCapacityLocked() {
+  while (Entries.size() > Capacity) {
+    auto Oldest = Entries.begin();
+    for (auto I = Entries.begin(); I != Entries.end(); ++I)
+      if (I->second.LastUse < Oldest->second.LastUse)
+        Oldest = I;
+    Entries.erase(Oldest);
+    ++Counters.Evictions;
+  }
 }
 
 ProgramCache::Stats ProgramCache::stats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Counters;
+  Stats S = Counters;
+  S.Entries = Entries.size();
+  return S;
+}
+
+void ProgramCache::resetStats() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters = Stats();
 }

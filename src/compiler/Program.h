@@ -87,6 +87,23 @@ public:
   /// artifact and outlives every executor instantiated from it).
   CompiledProgram(const Stream &Root, CompiledOptions Opts);
 
+  /// The deserialized pieces of a persisted program
+  /// (compiler/ArtifactStore.h): everything the compiling constructor
+  /// would have produced, reassembled without running any lowering pass.
+  struct Parts {
+    CompiledOptions Opts;
+    StreamPtr Root;
+    flat::FlatGraph Graph;
+    StaticSchedule Sched;
+    std::vector<FilterArtifact> Artifacts;
+    ShardInfo Shard;
+  };
+
+  /// Adopts deserialized parts. BuildStats stay zero and
+  /// loadedFromArtifact() reports true — the assertion hook for "zero
+  /// compiler passes executed" tests.
+  explicit CompiledProgram(Parts P);
+
   CompiledProgram(const CompiledProgram &) = delete;
   CompiledProgram &operator=(const CompiledProgram &) = delete;
 
@@ -96,6 +113,10 @@ public:
   const CompiledOptions &options() const { return Opts; }
   const BuildStats &buildStats() const { return Stats; }
   const ShardInfo &shardInfo() const { return Shard; }
+
+  /// True when this program was reassembled from a stored artifact
+  /// rather than compiled in this process.
+  bool loadedFromArtifact() const { return FromArtifact; }
 
   /// Artifact for flat node \p NodeIdx (filter nodes only).
   const FilterArtifact &filterArtifact(size_t NodeIdx) const {
@@ -114,12 +135,17 @@ private:
   StaticSchedule Sched;
   std::vector<FilterArtifact> Artifacts; ///< indexed by node; filters only
   ShardInfo Shard;
+  bool FromArtifact = false;
 };
 
 /// Content hash over every field of \p Opts, the options half of the
 /// ProgramCache key. Any CompiledOptions field that shapes the artifact
 /// or its execution must be mixed here; keying on a subset silently
-/// serves artifacts compiled under different options.
+/// serves artifacts compiled under different options. Exhaustiveness is
+/// enforced at compile time: the implementation destructures
+/// CompiledOptions and ParallelOptions field by field, so adding a field
+/// breaks the build there until it is mixed in (and serialized —
+/// compiler/ArtifactStore.cpp destructures the same way).
 HashDigest hashOptions(const CompiledOptions &Opts);
 
 using CompiledProgramRef = std::shared_ptr<const CompiledProgram>;
@@ -127,24 +153,42 @@ using CompiledProgramRef = std::shared_ptr<const CompiledProgram>;
 /// Process-wide cache of compiled programs keyed by (structural hash,
 /// engine options). Bounded LRU: programs can hold large packed matrices,
 /// so the cache evicts the least recently used entry beyond capacity.
+///
+/// When SLIN_ARTIFACT_DIR is set (compiler/ArtifactStore.h), the cache
+/// grows a disk tier: a memory miss consults the store before compiling,
+/// and every program compiled here is published for other processes.
+/// SLIN_NO_CACHE=1 bypasses the disk tier as well.
 class ProgramCache {
 public:
   static ProgramCache &global();
 
   /// Returns the cached program for (\p Root's structure, \p Opts),
   /// compiling and inserting on miss. \p WasHit (optional) reports
-  /// whether this call was served from the cache.
+  /// whether this call was served from a cache tier (memory or disk).
   CompiledProgramRef get(const Stream &Root, const CompiledOptions &Opts,
                          bool *WasHit = nullptr);
+
+  /// Cache-only lookup by precomputed key digests (memory, then disk);
+  /// null on miss — never compiles. The pipeline's alias fast path.
+  CompiledProgramRef lookup(const HashDigest &Structure,
+                            const HashDigest &OptsDigest);
 
   void clear();
   void setCapacity(size_t N);
 
+  /// Mirrors AnalysisManager::Stats: hit/miss/eviction counters plus a
+  /// live-entry snapshot, with the disk tier broken out.
   struct Stats {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+    uint64_t Entries = 0; ///< live entries at snapshot time
+    uint64_t DiskHits = 0;
+    uint64_t DiskMisses = 0;
+    uint64_t DiskStores = 0;
   };
   Stats stats() const;
+  void resetStats();
 
 private:
   /// (structure, options): the options half hashes EVERY CompiledOptions
@@ -162,7 +206,14 @@ private:
   struct Entry {
     CompiledProgramRef Program;
     uint64_t LastUse = 0;
+    /// Disk publication was attempted (or needs none): steady-state
+    /// memory hits must not re-serialize or touch the filesystem.
+    bool Published = false;
   };
+
+  CompiledProgramRef insertLocked(const Key &K, CompiledProgramRef Program,
+                                  bool Published, bool *WasHit = nullptr);
+  void evictToCapacityLocked();
 
   mutable std::mutex Mutex;
   std::map<Key, Entry> Entries;

@@ -55,10 +55,14 @@ struct ParallelOptions {
 /// Knobs of the compiled batched engine (exec/CompiledExecutor.h) and of
 /// the parallel backend layered on top of it.
 ///
-/// NOTE for maintainers: ProgramCache keys artifacts on a hash of EVERY
-/// field of this struct (compiler/Program.cpp hashOptions) — when adding
-/// a field, mix it in there or structurally identical graphs compiled
-/// under different options will silently share one artifact.
+/// NOTE for maintainers: ProgramCache keys artifacts (in memory AND on
+/// disk) on a hash of EVERY field of this struct. Adding a field is a
+/// compile error in hashOptions (compiler/Program.cpp) and in
+/// serializeProgram (compiler/ArtifactStore.cpp) until the new field is
+/// mixed into the key and round-tripped — both destructure this struct
+/// and ParallelOptions field by field, so a new knob can never silently
+/// alias artifacts compiled under different options. Keep this struct
+/// (and ParallelOptions) an aggregate, or those checks stop compiling.
 struct CompiledOptions {
   /// Steady-state iterations fused into one batch program. Larger
   /// batches give the batched kernels longer runs (and cost

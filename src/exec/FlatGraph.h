@@ -70,6 +70,10 @@ struct Node {
 struct FlatGraph {
   explicit FlatGraph(const Stream &Root);
 
+  /// Empty graph, filled in by artifact deserialization
+  /// (compiler/ArtifactStore.cpp) rather than by flattening.
+  FlatGraph() = default;
+
   std::vector<Node> Nodes;
   /// Items pre-loaded on each channel (feedback-loop enqueued values).
   std::vector<std::vector<double>> InitialItems;

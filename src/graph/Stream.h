@@ -30,6 +30,11 @@
 
 namespace slin {
 
+namespace serial {
+class Writer;
+class Reader;
+} // namespace serial
+
 enum class StreamKind { Filter, Pipeline, SplitJoin, FeedbackLoop };
 
 class Stream;
@@ -120,6 +125,17 @@ public:
     (void)H;
     return false;
   }
+
+  /// Persistent-artifact hooks (compiler/ArtifactStore.h). A serializable
+  /// native filter names its concrete class with a registry tag (must be
+  /// registered via registerNativeFilterFactory) and writes whatever
+  /// payload its factory needs to reconstruct a behaviourally identical
+  /// instance — including an identical hashContent sequence, or loaded
+  /// artifacts would fail their structural-hash verification. The default
+  /// (no tag) makes the enclosing program memory-cacheable only; the
+  /// artifact store skips it, never errors.
+  virtual const char *serialTag() const { return nullptr; }
+  virtual void serializePayload(serial::Writer &W) const { (void)W; }
 
   /// Firings of this filter whose inputs determine its internal state,
   /// for the parallel backend's shard-boundary reconstruction

@@ -3,6 +3,7 @@
 #include "matrix/Kernels.h"
 
 #include "support/OpCounters.h"
+#include "support/Serialize.h"
 
 #include <algorithm>
 #include <cassert>
@@ -295,4 +296,65 @@ void TunedGemv::applyBatched(const double *In, double *Out, int K,
   }
 #endif
   batchedImpl<false>(In, Out, K, PopStride);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+void PackedLinearKernel::serialize(serial::Writer &W) const {
+  W.i32(PeekRate);
+  serializeMatrix(W, Dense);
+  W.u32(static_cast<uint32_t>(Columns.size()));
+  for (const Column &C : Columns) {
+    W.i32(C.First);
+    W.f64s(C.Coeffs);
+    W.f64(C.Offset);
+  }
+}
+
+bool PackedLinearKernel::deserialize(serial::Reader &R,
+                                     PackedLinearKernel &Out) {
+  PackedLinearKernel K;
+  K.PeekRate = R.i32();
+  if (!deserializeMatrix(R, K.Dense))
+    return false;
+  uint32_t U = R.u32();
+  if (!R.ok() || U > R.remaining())
+    return false;
+  K.Columns.resize(U);
+  for (Column &C : K.Columns) {
+    C.First = R.i32();
+    C.Coeffs = R.f64s();
+    C.Offset = R.f64();
+  }
+  if (!R.ok() || K.PeekRate < 0 ||
+      K.Dense.rows() != static_cast<size_t>(K.PeekRate) ||
+      K.Dense.cols() != K.Columns.size())
+    return false;
+  Out = std::move(K);
+  return true;
+}
+
+void TunedGemv::serialize(serial::Writer &W) const {
+  W.i32(E);
+  W.i32(U);
+  W.f64s(RowMajorT);
+  W.f64s(Offsets);
+}
+
+bool TunedGemv::deserialize(serial::Reader &R, TunedGemv &Out) {
+  TunedGemv G;
+  G.E = R.i32();
+  G.U = R.i32();
+  G.RowMajorT = R.f64s();
+  G.Offsets = R.f64s();
+  if (!R.ok() || G.E < 0 || G.U < 0 ||
+      G.RowMajorT.size() !=
+          static_cast<size_t>(G.E) * static_cast<size_t>(G.U) ||
+      G.Offsets.size() != static_cast<size_t>(G.U))
+    return false;
+  G.Staging.resize(static_cast<size_t>(G.E));
+  Out = std::move(G);
+  return true;
 }

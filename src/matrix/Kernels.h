@@ -41,6 +41,11 @@
 
 namespace slin {
 
+namespace serial {
+class Writer;
+class Reader;
+} // namespace serial
+
 /// Column-packed representation of a natural-orientation linear map
 /// y[j] = sum_p C[p][j] * x[p] + b[j], with per-column leading/trailing
 /// zeros removed (Figure 5-7's sparseA/firstNonZero/lastNonZero).
@@ -76,12 +81,19 @@ public:
   /// Total multiplies performed by one banded application.
   size_t bandedMultiplyCount() const;
 
+  /// Persists the packed form bit-exactly (support/Serialize.h): loaded
+  /// kernels run the same bands in the same order as freshly packed ones.
+  void serialize(serial::Writer &W) const;
+  static bool deserialize(serial::Reader &R, PackedLinearKernel &Out);
+
 private:
+  PackedLinearKernel() = default; ///< deserialize target only
+
   template <bool Counted> void bandedImpl(const double *In, double *Out) const;
   template <bool Counted>
   void batchedImpl(const double *In, double *Out, int K, int PopStride) const;
 
-  int PeekRate;
+  int PeekRate = 0;
   Matrix Dense; ///< kept for applyDense
   std::vector<Column> Columns;
 };
@@ -110,13 +122,19 @@ public:
   /// K calls of apply.
   void applyBatched(const double *In, double *Out, int K, int PopStride) const;
 
+  /// Persists the transposed packed layout bit-exactly.
+  void serialize(serial::Writer &W) const;
+  static bool deserialize(serial::Reader &R, TunedGemv &Out);
+
 private:
+  TunedGemv() = default; ///< deserialize target only
+
   template <bool Counted> void applyImpl(const double *In, double *Out) const;
   template <bool Counted>
   void batchedImpl(const double *In, double *Out, int K, int PopStride) const;
 
-  int E;
-  int U;
+  int E = 0;
+  int U = 0;
   std::vector<double> RowMajorT; ///< U x E, row j = coefficients of output j
   std::vector<double> Offsets;
   mutable std::vector<double> Staging; ///< interface copy buffer

@@ -3,6 +3,7 @@
 #include "matrix/Matrix.h"
 
 #include "support/Diag.h"
+#include "support/Serialize.h"
 
 #include <cmath>
 #include <cstdio>
@@ -135,4 +136,58 @@ std::string Matrix::str() const {
     S += R + 1 == NumRows ? "]" : "\n";
   }
   return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+void slin::serializeMatrix(serial::Writer &W, const Matrix &M) {
+  W.u32(static_cast<uint32_t>(M.rows()));
+  W.u32(static_cast<uint32_t>(M.cols()));
+  for (size_t R = 0; R != M.rows(); ++R) {
+    const double *Row = M.rowData(R);
+    for (size_t C = 0; C != M.cols(); ++C)
+      W.f64(Row[C]);
+  }
+}
+
+bool slin::deserializeMatrix(serial::Reader &R, Matrix &Out) {
+  uint32_t Rows = R.u32();
+  uint32_t Cols = R.u32();
+  // 8 bytes per element must fit in what's left of the buffer.
+  if (!R.ok() ||
+      static_cast<uint64_t>(Rows) * Cols > R.remaining() / sizeof(double)) {
+    R.fail();
+    return false;
+  }
+  Matrix M(Rows, Cols);
+  for (size_t I = 0; I != Rows; ++I)
+    for (size_t J = 0; J != Cols; ++J)
+      M.at(I, J) = R.f64();
+  if (!R.ok())
+    return false;
+  Out = std::move(M);
+  return true;
+}
+
+void slin::serializeVector(serial::Writer &W, const Vector &V) {
+  W.u32(static_cast<uint32_t>(V.size()));
+  for (size_t I = 0; I != V.size(); ++I)
+    W.f64(V[I]);
+}
+
+bool slin::deserializeVector(serial::Reader &R, Vector &Out) {
+  uint32_t N = R.u32();
+  if (!R.ok() || N > R.remaining() / sizeof(double)) {
+    R.fail();
+    return false;
+  }
+  Vector V(N);
+  for (size_t I = 0; I != N; ++I)
+    V[I] = R.f64();
+  if (!R.ok())
+    return false;
+  Out = std::move(V);
+  return true;
 }

@@ -118,6 +118,19 @@ private:
   std::vector<double> Data;
 };
 
+namespace serial {
+class Writer;
+class Reader;
+} // namespace serial
+
+/// Binary serialization (support/Serialize.h) for persistent artifacts.
+/// Deserialization returns false on malformed input (dimension/payload
+/// mismatch) without touching \p Out's invariants.
+void serializeMatrix(serial::Writer &W, const Matrix &M);
+bool deserializeMatrix(serial::Reader &R, Matrix &Out);
+void serializeVector(serial::Writer &W, const Vector &V);
+bool deserializeVector(serial::Reader &R, Vector &Out);
+
 } // namespace slin
 
 #endif // SLIN_MATRIX_MATRIX_H

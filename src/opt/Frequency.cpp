@@ -2,12 +2,14 @@
 
 #include "opt/Frequency.h"
 
+#include "compiler/ArtifactStore.h"
 #include "compiler/StructuralHash.h"
 #include "fft/FFT.h"
 #include "linear/Analysis.h"
 #include "support/Diag.h"
 #include "support/MathUtil.h"
 #include "support/OpCounters.h"
+#include "support/Serialize.h"
 #include "wir/Build.h"
 
 #include <cmath>
@@ -138,6 +140,90 @@ public:
     return C;
   }
 
+  const char *serialTag() const override { return "freq"; }
+
+  void serializePayload(serial::Writer &W) const override {
+    W.u64(Content.Lo);
+    W.u64(Content.Hi);
+    W.i32(E);
+    W.i32(U);
+    W.boolean(Optimized);
+    W.u8(static_cast<uint8_t>(Tier));
+    W.u64(N);
+    serializeVector(W, Offsets);
+    // The precomputed column spectra, bit-exact: recomputing them at load
+    // would also be deterministic, but storing them keeps the load path
+    // trivially identical to the compiled prototype.
+    if (Tier == FFTTier::PlannedReal) {
+      for (const std::vector<double> &Col : HReal)
+        W.f64s(Col);
+    } else {
+      for (const std::vector<Complex> &Col : HCplx)
+        for (const Complex &V : Col) {
+          W.f64(V.real());
+          W.f64(V.imag());
+        }
+    }
+  }
+
+  /// Reconstructs a prototype from serializePayload bytes. Returns null
+  /// on malformed input (the caller treats it as a cache miss).
+  static std::unique_ptr<NativeFilter> deserialize(serial::Reader &R) {
+    std::unique_ptr<FreqFilterNative> F(new FreqFilterNative());
+    F->Content.Lo = R.u64();
+    F->Content.Hi = R.u64();
+    F->E = R.i32();
+    F->U = R.i32();
+    F->Optimized = R.boolean();
+    uint8_t Tier = R.u8();
+    F->Tier = static_cast<FFTTier>(Tier);
+    F->N = R.u64();
+    if (!R.ok() || Tier > static_cast<uint8_t>(FFTTier::SimpleComplex) ||
+        F->E < 1 || F->U < 1 || !isPowerOfTwo(F->N) ||
+        F->N < static_cast<size_t>(2 * F->E) || F->N > (size_t(1) << 20))
+      return nullptr;
+    F->M = static_cast<int>(F->N) - 2 * F->E + 1;
+    F->R = F->M + F->E - 1;
+    if (!deserializeVector(R, F->Offsets) ||
+        F->Offsets.size() != static_cast<size_t>(F->U))
+      return nullptr;
+    if (F->Tier == FFTTier::PlannedReal) {
+      F->HReal.resize(static_cast<size_t>(F->U));
+      for (std::vector<double> &Col : F->HReal) {
+        Col = R.f64s();
+        if (Col.size() != F->N)
+          return nullptr;
+      }
+      F->Plan = std::make_shared<FFTPlan>(F->N);
+      F->XF.resize(F->N);
+      F->YF.resize(F->N);
+    } else {
+      // The spectra must be backed by wire bytes (16 per complex entry)
+      // before anything is allocated — a checksum-valid but malformed
+      // header must degrade to a cache miss, never an OOM crash.
+      if (static_cast<uint64_t>(F->U) * F->N >
+          R.remaining() / (2 * sizeof(double)))
+        return nullptr;
+      F->HCplx.resize(static_cast<size_t>(F->U),
+                      std::vector<Complex>(F->N));
+      for (std::vector<Complex> &Col : F->HCplx)
+        for (Complex &V : Col) {
+          double Re = R.f64();
+          double Im = R.f64();
+          V = Complex(Re, Im);
+        }
+      F->XC.resize(F->N);
+      F->YC.resize(F->N);
+    }
+    F->XBuf.resize(F->N);
+    F->YCols.resize(static_cast<size_t>(F->U), std::vector<double>(F->N));
+    F->Partials.assign(
+        static_cast<size_t>(F->U) * std::max(F->E - 1, 0), 0.0);
+    if (!R.ok())
+      return nullptr;
+    return F;
+  }
+
   bool hashContent(HashStream &H) const override {
     H.mix(Content.Lo);
     H.mix(Content.Hi);
@@ -150,6 +236,8 @@ public:
   int stateDepthFirings() const override { return Optimized ? 1 : 0; }
 
 private:
+  FreqFilterNative() = default; ///< deserialize target only
+
   HashDigest Content;
   /// Reads the input window, transforms it, and fills YCols[j] with the
   /// circular convolution against column j.
@@ -228,6 +316,11 @@ std::unique_ptr<Filter> makeDecimatorFilter(int O, int U,
 }
 
 } // namespace
+
+void slin::registerFrequencyNativeSerialization() {
+  registerNativeFilterFactory(
+      "freq", [](serial::Reader &R) { return FreqFilterNative::deserialize(R); });
+}
 
 bool slin::canConvertToFrequency(const LinearNode &N,
                                  const FrequencyOptions &Opts) {

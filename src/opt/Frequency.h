@@ -56,6 +56,11 @@ class LinearAnalysis;
 StreamPtr replaceFrequency(const Stream &Root, const LinearAnalysis &LA,
                            bool Combine, const FrequencyOptions &Opts);
 
+/// Registers the frequency filter's artifact-serialization factory with
+/// the native-filter registry (compiler/ArtifactStore.h). Called once by
+/// the artifact store; idempotent.
+void registerFrequencyNativeSerialization();
+
 /// Multiplications per output of the frequency implementation, as a
 /// closed-form estimate used by Figure 5-12's "theory" series:
 /// an N-point real FFT costs ~(N/2)lg(N) multiplies; one firing performs

@@ -2,9 +2,11 @@
 
 #include "opt/LinearReplacement.h"
 
+#include "compiler/ArtifactStore.h"
 #include "compiler/StructuralHash.h"
 #include "matrix/Kernels.h"
 #include "support/Diag.h"
+#include "support/Serialize.h"
 #include "wir/Build.h"
 
 using namespace slin;
@@ -162,8 +164,37 @@ public:
   /// In/Out are per-firing scratch, fully rewritten before use.
   int stateDepthFirings() const override { return 0; }
 
+  const char *serialTag() const override { return "tuned-linear"; }
+
+  void serializePayload(serial::Writer &W) const override {
+    W.i32(E);
+    W.i32(O);
+    W.i32(U);
+    W.u64(Content.Lo);
+    W.u64(Content.Hi);
+    Kernel.serialize(W);
+  }
+
+  static std::unique_ptr<NativeFilter> deserialize(serial::Reader &R) {
+    std::unique_ptr<TunedLinearFilter> F(new TunedLinearFilter());
+    F->E = R.i32();
+    F->O = R.i32();
+    F->U = R.i32();
+    F->Content.Lo = R.u64();
+    F->Content.Hi = R.u64();
+    if (!R.ok() || F->E < 0 || F->O < 0 || F->U < 0 ||
+        !TunedGemv::deserialize(R, F->Kernel) ||
+        F->Kernel.peekRate() != F->E || F->Kernel.pushRate() != F->U)
+      return nullptr;
+    F->In.resize(static_cast<size_t>(F->E));
+    F->Out.resize(static_cast<size_t>(F->U));
+    return F;
+  }
+
 private:
-  int E, O, U;
+  TunedLinearFilter() : Kernel(Matrix(), Vector()) {}
+
+  int E = 0, O = 0, U = 0;
   HashDigest Content;
   TunedGemv Kernel;
   std::vector<double> In;
@@ -211,8 +242,37 @@ public:
   /// In/Out are per-firing scratch, fully rewritten before use.
   int stateDepthFirings() const override { return 0; }
 
+  const char *serialTag() const override { return "packed-linear"; }
+
+  void serializePayload(serial::Writer &W) const override {
+    W.i32(E);
+    W.i32(O);
+    W.i32(U);
+    W.u64(Content.Lo);
+    W.u64(Content.Hi);
+    Kernel.serialize(W);
+  }
+
+  static std::unique_ptr<NativeFilter> deserialize(serial::Reader &R) {
+    std::unique_ptr<PackedLinearFilter> F(new PackedLinearFilter());
+    F->E = R.i32();
+    F->O = R.i32();
+    F->U = R.i32();
+    F->Content.Lo = R.u64();
+    F->Content.Hi = R.u64();
+    if (!R.ok() || F->E < 0 || F->O < 0 || F->U < 0 ||
+        !PackedLinearKernel::deserialize(R, F->Kernel) ||
+        F->Kernel.peekRate() != F->E || F->Kernel.pushRate() != F->U)
+      return nullptr;
+    F->In.resize(static_cast<size_t>(F->E));
+    F->Out.resize(static_cast<size_t>(F->U));
+    return F;
+  }
+
 private:
-  int E, O, U;
+  PackedLinearFilter() : Kernel(Matrix(), Vector()) {}
+
+  int E = 0, O = 0, U = 0;
   HashDigest Content;
   PackedLinearKernel Kernel;
   std::vector<double> In;
@@ -220,6 +280,15 @@ private:
 };
 
 } // namespace
+
+void slin::registerLinearNativeSerialization() {
+  registerNativeFilterFactory("tuned-linear", [](serial::Reader &R) {
+    return TunedLinearFilter::deserialize(R);
+  });
+  registerNativeFilterFactory("packed-linear", [](serial::Reader &R) {
+    return PackedLinearFilter::deserialize(R);
+  });
+}
 
 size_t slin::directMultiplyCount(const LinearNode &N) {
   size_t NNZ = N.nonZeroCount();

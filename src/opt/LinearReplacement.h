@@ -68,6 +68,11 @@ StreamPtr replaceLinear(const Stream &Root, const LinearAnalysis &LA,
 /// combinePipeline. \p Nodes must be non-empty.
 LinearNode foldPipelineNodes(const std::vector<const LinearNode *> &Nodes);
 
+/// Registers the tuned/packed linear filters' artifact-serialization
+/// factories with the native-filter registry (compiler/ArtifactStore.h).
+/// Called once by the artifact store; idempotent.
+void registerLinearNativeSerialization();
+
 } // namespace slin
 
 #endif // SLIN_OPT_LINEARREPLACEMENT_H

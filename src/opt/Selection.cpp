@@ -12,10 +12,30 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <typeinfo>
 
 using namespace slin;
 
 CostModel::~CostModel() = default;
+
+bool CostModel::hashContent(HashStream &H) const {
+  // The paper's constants are compiled in: the class identity is the
+  // content. Guard with typeid so an unhashable subclass inheriting this
+  // does not alias as the paper model.
+  if (typeid(*this) != typeid(CostModel))
+    return false;
+  H.mix(0xc057); // paper-model tag
+  return true;
+}
+
+bool MeasuredCostModel::hashContent(HashStream &H) const {
+  if (typeid(*this) != typeid(MeasuredCostModel))
+    return false;
+  H.mix(0x6ea5); // measured-model tag
+  H.mixDouble(PerItem);
+  H.mixDouble(PerMult);
+  return true;
+}
 
 bool slin::isSelectionNode(const LinearNode &N) {
   if (N.nonZeroOffsetCount() != 0)

@@ -48,6 +48,16 @@ public:
 
   /// Cost of one firing of the frequency implementation.
   virtual double frequencyCost(const LinearNode &N) const;
+
+  /// Mixes the model's identity and parameters into \p H, for the
+  /// pipeline-level keys of the persistent artifact store
+  /// (compiler/ArtifactStore.h): two configurations may share a stored
+  /// compile only if their cost models provably pick the same plans.
+  /// Returns false for subclasses that do not opt in (the base
+  /// implementations guard with typeid, so an unknown subclass inheriting
+  /// them reports unhashable rather than aliasing as its parent) — such
+  /// configurations skip disk aliasing but lose nothing else.
+  virtual bool hashContent(HashStream &H) const;
 };
 
 /// Alternative model calibrated on our runtime's operation counts rather
@@ -62,6 +72,8 @@ public:
 
   double directCost(const LinearNode &N, bool SelectionOnly) const override;
   double frequencyCost(const LinearNode &N) const override;
+
+  bool hashContent(HashStream &H) const override;
 
 private:
   double PerItem; ///< per pushed/popped item runtime overhead, in "ops"

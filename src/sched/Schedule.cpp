@@ -4,6 +4,7 @@
 
 #include "support/Diag.h"
 #include "support/MathUtil.h"
+#include "support/Serialize.h"
 
 #include <algorithm>
 #include <limits>
@@ -547,4 +548,83 @@ ShardBoundary slin::computeShardBoundary(
   B.Feasible = true;
   B.WashoutIterations = Washout;
   return B;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeProgram(serial::Writer &W, const FiringProgram &P) {
+  W.u32(static_cast<uint32_t>(P.size()));
+  for (const FiringStep &S : P) {
+    W.i32(S.Node);
+    W.i64(S.Count);
+  }
+}
+
+bool readProgram(serial::Reader &R, FiringProgram &Out) {
+  uint32_t N = R.u32();
+  // Each step occupies 12 bytes on the wire.
+  if (!R.ok() || static_cast<uint64_t>(N) * 12 > R.remaining()) {
+    R.fail();
+    return false;
+  }
+  Out.resize(N);
+  for (FiringStep &S : Out) {
+    S.Node = R.i32();
+    S.Count = R.i64();
+  }
+  return R.ok();
+}
+
+} // namespace
+
+void slin::serializeSchedule(serial::Writer &W, const StaticSchedule &S) {
+  W.i64s(S.Repetitions);
+  W.i64s(S.InitFirings);
+  writeProgram(W, S.InitProgram);
+  writeProgram(W, S.SteadyProgram);
+  writeProgram(W, S.BatchProgram);
+  W.i32(S.BatchIterations);
+  W.i64s(S.ChannelHighWater);
+  W.i64s(S.ChannelBufSize);
+  W.i64s(S.PostInitLive);
+  W.i64(S.InitExternalPops);
+  W.i64(S.InitExternalNeed);
+  W.i64(S.SteadyExternalPops);
+  W.i64(S.SteadyExternalNeed);
+  W.i64(S.BatchExternalPops);
+  W.i64(S.BatchExternalNeed);
+  W.i64(S.InitExternalPushes);
+  W.i64(S.SteadyExternalPushes);
+  W.i64(S.BatchExternalPushes);
+}
+
+bool slin::deserializeSchedule(serial::Reader &R, StaticSchedule &Out) {
+  StaticSchedule S;
+  S.Repetitions = R.i64s();
+  S.InitFirings = R.i64s();
+  if (!readProgram(R, S.InitProgram) || !readProgram(R, S.SteadyProgram) ||
+      !readProgram(R, S.BatchProgram))
+    return false;
+  S.BatchIterations = R.i32();
+  S.ChannelHighWater = R.i64s();
+  S.ChannelBufSize = R.i64s();
+  S.PostInitLive = R.i64s();
+  S.InitExternalPops = R.i64();
+  S.InitExternalNeed = R.i64();
+  S.SteadyExternalPops = R.i64();
+  S.SteadyExternalNeed = R.i64();
+  S.BatchExternalPops = R.i64();
+  S.BatchExternalNeed = R.i64();
+  S.InitExternalPushes = R.i64();
+  S.SteadyExternalPushes = R.i64();
+  S.BatchExternalPushes = R.i64();
+  if (!R.ok() || S.BatchIterations < 1 ||
+      S.Repetitions.size() != S.InitFirings.size())
+    return false;
+  Out = std::move(S);
+  return true;
 }

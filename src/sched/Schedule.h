@@ -89,6 +89,17 @@ struct StaticSchedule {
   int64_t BatchExternalPushes = 0;
 };
 
+namespace serial {
+class Writer;
+class Reader;
+} // namespace serial
+
+/// Binary persistence of a schedule (support/Serialize.h): every field,
+/// including the shard-boundary inputs (PostInitLive, high-water marks),
+/// so a loaded program allocates and fires exactly like a fresh one.
+void serializeSchedule(serial::Writer &W, const StaticSchedule &S);
+bool deserializeSchedule(serial::Reader &R, StaticSchedule &Out);
+
 /// Computes the static schedule of \p G with \p BatchIterations steady
 /// states per batch program. Reports a fatal error for graphs without a
 /// valid steady state or whose initialization cannot be scheduled

@@ -1,0 +1,27 @@
+//===- support/Serialize.cpp - Endian-stable binary serialization ------------==//
+
+#include "support/Serialize.h"
+
+#include "support/Hashing.h"
+
+using namespace slin;
+
+HashDigest slin::serial::hashBytes(const uint8_t *Data, size_t Size) {
+  HashStream H;
+  H.mix(0xb17e5); // domain tag
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8) {
+    uint64_t Word = 0;
+    for (int B = 0; B != 8; ++B)
+      Word |= static_cast<uint64_t>(Data[I + B]) << (8 * B);
+    H.mix(Word);
+  }
+  if (I != Size) {
+    uint64_t Word = 0;
+    for (int B = 0; I + B != Size; ++B)
+      Word |= static_cast<uint64_t>(Data[I + B]) << (8 * B);
+    H.mix(Word);
+  }
+  H.mix(Size);
+  return H.digest();
+}

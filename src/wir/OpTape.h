@@ -34,6 +34,12 @@
 #include <vector>
 
 namespace slin {
+
+namespace serial {
+class Writer;
+class Reader;
+} // namespace serial
+
 namespace wir {
 
 enum class Op : uint8_t {
@@ -163,6 +169,14 @@ public:
   /// Classifies this tape's cross-firing state (see SteadyStateInfo).
   /// \p Fields must be the field list the program was compiled against.
   SteadyStateInfo analyzeSteadyState(const std::vector<FieldDef> &Fields) const;
+
+  /// Binary persistence (support/Serialize.h): instructions and frame
+  /// metadata are written verbatim, so a loaded program executes the
+  /// exact instruction sequence — and reports the exact FLOP taxonomy —
+  /// the compiler produced. deserialize() rejects out-of-range opcodes
+  /// and inconsistent frame metadata (returns false; \p Out untouched).
+  void serialize(serial::Writer &W) const;
+  static bool deserialize(serial::Reader &R, OpProgram &Out);
 
   /// Executes one firing. \p In points at peek(0) (null for source
   /// filters); \p Out receives exactly pushRate() values; \p Printed
