@@ -7,12 +7,15 @@
 #include "compiler/StructuralHash.h"
 #include "graph/Export.h"
 #include "linear/Analysis.h"
+#include "opt/Cleanup.h"
 #include "opt/Redundancy.h"
 #include "opt/Selection.h"
 #include "support/Diag.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace slin;
 
@@ -30,6 +33,14 @@ const char *slin::optModeName(OptMode M) {
     return "autosel";
   }
   unreachable("unknown optimization mode");
+}
+
+bool slin::defaultVerifyAfterEachPass() {
+  static const bool On = [] {
+    const char *V = std::getenv("SLIN_VERIFY");
+    return V && *V && std::strcmp(V, "0") != 0;
+  }();
+  return On;
 }
 
 double CompileResult::totalSeconds() const {
@@ -102,12 +113,15 @@ bool pipelineAliasKey(const Stream &Root, const PipelineOptions &Opts,
   // to compile here until it is either mixed into the key or explicitly
   // discarded below as non-semantic — it can never silently alias stored
   // compiles produced under different configurations.
-  const auto &[Mode, Combine, CodeGen, Freq, Model, MaxMatrixElements, Exec,
-               AM, UseProgramCache, DumpDir] = Opts;
+  const auto &[Mode, Combine, CodeGen, Freq, Model, MaxMatrixElements,
+               ConstFold, DeadChannelElim, VerifyAfterEachPass, Exec, AM,
+               UseProgramCache, DumpDir] = Opts;
   // Non-semantic knobs: the analysis cache only memoizes pure functions,
-  // and a bypassed program cache / requested pass dumps disable aliasing
-  // entirely rather than key it.
+  // the verifier never changes what the passes produce, and a bypassed
+  // program cache / requested pass dumps disable aliasing entirely
+  // rather than key it.
   (void)AM;
+  (void)VerifyAfterEachPass;
   if (!usesCompiledArtifact(Exec.Eng) || !UseProgramCache ||
       !DumpDir.empty())
     return false;
@@ -131,6 +145,8 @@ bool pipelineAliasKey(const Stream &Root, const PipelineOptions &Opts,
       return false;
   }
   H.mix(MaxMatrixElements);
+  H.mix(ConstFold ? 1 : 0);
+  H.mix(DeadChannelElim ? 1 : 0);
   // Of ExecOptions, only the compiled-engine knobs shape the artifact:
   // every artifact engine runs the same tapes/kernels (selection
   // substitutes one shared compiled-engine model), and DynamicOptions
@@ -147,6 +163,22 @@ bool pipelineAliasKey(const Stream &Root, const PipelineOptions &Opts,
 CompileResult CompilerPipeline::compile(const Stream &Root) const {
   CompileResult R;
   AnalysisManager *AM = Opts.AM ? Opts.AM : &AnalysisManager::global();
+
+  // VerifyRates: re-derive the balance equations of the current stream
+  // after a rewrite pass, recorded as its own timed pass and fatal (with
+  // the offending pass named) on the first inconsistency — a corrupted
+  // rewrite dies here instead of as a wrong answer three passes later.
+  auto verifyAfter = [&](const Stream &S) {
+    if (!Opts.VerifyAfterEachPass)
+      return;
+    std::string After = R.Passes.empty() ? "<input>" : R.Passes.back().Name;
+    std::string Err =
+        runPass(R, "verify-rates", [&] { return verifyStreamRates(S); });
+    R.Passes.back().Note = "after " + After;
+    if (!Err.empty())
+      fatalError("rate verification failed after pass '" + After +
+                 "': " + Err);
+  };
 
   // --- Persistent-artifact fast path -------------------------------------
   // A prior process (or this one, pre-cache-clear) that compiled this
@@ -224,6 +256,38 @@ CompileResult CompilerPipeline::compile(const Stream &Root) const {
   }
   }
   dumpAfterPass(Opts, R.Passes.size(), R.Passes.back().Name, *R.Optimized);
+  verifyAfter(*R.Optimized);
+
+  // --- Cleanup passes ----------------------------------------------------
+  // Base mode runs the program as written; every other mode has already
+  // rewritten the graph, so folding and pruning its generated parts keeps
+  // outputs (and FLOP counts) bit-identical while shrinking the schedule.
+  if (Opts.Mode != OptMode::Base && Opts.ConstFold) {
+    CleanupStats CS;
+    StreamPtr Folded = runPass(R, "linear-const-fold", [&] {
+      return constFoldLinear(*R.Optimized, *AM, Opts.CodeGen, CS);
+    });
+    R.Passes.back().Note = CS.summary();
+    if (Folded) {
+      R.Optimized = std::move(Folded);
+      dumpAfterPass(Opts, R.Passes.size(), "linear-const-fold",
+                    *R.Optimized);
+      verifyAfter(*R.Optimized);
+    }
+  }
+  if (Opts.Mode != OptMode::Base && Opts.DeadChannelElim) {
+    CleanupStats CS;
+    StreamPtr Pruned = runPass(R, "dead-channel-elim", [&] {
+      return eliminateDeadChannels(*R.Optimized, CS);
+    });
+    R.Passes.back().Note = CS.summary();
+    if (Pruned) {
+      R.Optimized = std::move(Pruned);
+      dumpAfterPass(Opts, R.Passes.size(), "dead-channel-elim",
+                    *R.Optimized);
+      verifyAfter(*R.Optimized);
+    }
+  }
 
   // --- Lowering ----------------------------------------------------------
   if (!usesCompiledArtifact(Opts.Exec.Eng))
@@ -256,6 +320,17 @@ CompileResult CompilerPipeline::compile(const Stream &Root) const {
     std::snprintf(Buf, sizeof(Buf), "B=%d",
                   R.Program->options().BatchIterations);
     R.Passes.push_back({"tape-compile", BS.TapeSeconds, Buf});
+    if (Opts.VerifyAfterEachPass) {
+      // Cross-check the freshly computed static schedule against an
+      // independent replay (cache and artifact hits were verified when
+      // first compiled, and disk loads are checksum-validated).
+      std::string Err = runPass(R, "verify-schedule", [&] {
+        return verifySchedule(R.Program->graph(), R.Program->schedule());
+      });
+      R.Passes.back().Note = "after lower";
+      if (!Err.empty())
+        fatalError("schedule verification failed after lowering: " + Err);
+    }
   }
   // Leave a pipeline-key → artifact-key alias so the next warm start
   // resolves this configuration without running any pass. Only aliases

@@ -43,6 +43,11 @@ enum class OptMode {
 
 const char *optModeName(OptMode M);
 
+/// True when SLIN_VERIFY is set (non-empty, not "0") in the environment:
+/// the default for PipelineOptions::VerifyAfterEachPass, letting CI runs
+/// turn the verifier pass on across an unmodified test suite.
+bool defaultVerifyAfterEachPass();
+
 /// Options for the whole pipeline: transformation selection, the paper's
 /// knobs, engine/exec options, caches and diagnostics.
 struct PipelineOptions {
@@ -59,6 +64,23 @@ struct PipelineOptions {
   const CostModel *Model = nullptr;
   /// AutoSel combination size guard (SelectionOptions::MaxMatrixElements).
   size_t MaxMatrixElements = size_t(1) << 22;
+
+  /// LinearConstFold (opt/Cleanup.h): after replacement/selection,
+  /// rebuild generated linear filters with compile-time-constant
+  /// structure — pure-offset nodes become constant emitters, dead
+  /// deep-peek rows are trimmed so buffers shrink. Never runs in Base
+  /// mode (the program runs as written). Outputs and FLOP counts are
+  /// bit-identical with the pass on or off.
+  bool ConstFold = true;
+  /// DeadChannelElim (opt/Cleanup.h): after replacement/selection,
+  /// delete splitjoin branches whose outputs are never consumed (and
+  /// the channels feeding them). Never runs in Base mode.
+  bool DeadChannelElim = true;
+  /// VerifyRates (opt/Cleanup.h): re-derive the balance equations after
+  /// every rewrite pass and cross-check the static schedule after
+  /// lowering, aborting with the offending pass's name on any
+  /// inconsistency. Defaults to the SLIN_VERIFY environment variable.
+  bool VerifyAfterEachPass = defaultVerifyAfterEachPass();
 
   /// Engine selection + knobs. With Engine::Compiled, compile() also
   /// lowers the optimized stream to a CompiledProgram artifact.

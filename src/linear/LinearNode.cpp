@@ -131,7 +131,41 @@ LinearNode slin::combinePipeline(const LinearNode &First,
       expand(Second, static_cast<int>(ChanPeek), static_cast<int>(ChanPop),
              static_cast<int>(ChanPop / O2 * U2));
 
-  Matrix A = FirstE.matrix().multiply(SecondE.matrix());
+  // Degenerate-factor fast paths: expanded Identity filters produce exact
+  // identity matrices and expanded Gain filters diagonal ones, so the
+  // O(e·u·k) product collapses to a copy or a single scaling sweep. The
+  // results equal the general product elementwise (a skipped k-term only
+  // ever contributed an exact zero; signs of zero entries may differ,
+  // which neither code generation — it tests == 0.0 — nor the runtime
+  // kernels' skip logic can observe).
+  const Matrix &M1 = FirstE.matrix();
+  const Matrix &M2 = SecondE.matrix();
+  Matrix A;
+  if (M2.isIdentity()) {
+    A = M1;
+  } else if (M1.isIdentity()) {
+    A = M2;
+  } else if (M2.isDiagonal()) {
+    // Mirror the general product's zero-skip: an exactly-zero factor
+    // contributes nothing (not 0·x, which could be -0.0 or NaN).
+    A = M1;
+    for (size_t I = 0; I != A.rows(); ++I)
+      for (size_t J = 0; J != A.cols(); ++J) {
+        double &V = A.at(I, J);
+        V = V == 0.0 ? 0.0 : V * M2.at(J, J);
+      }
+  } else if (M1.isDiagonal()) {
+    A = M2;
+    for (size_t I = 0; I != A.rows(); ++I) {
+      double D = M1.at(I, I);
+      for (size_t J = 0; J != A.cols(); ++J) {
+        double &V = A.at(I, J);
+        V = D == 0.0 || V == 0.0 ? 0.0 : D * V;
+      }
+    }
+  } else {
+    A = M1.multiply(M2);
+  }
   Vector B = SecondE.matrix().leftMultiply(FirstE.vector());
   for (size_t J = 0; J != B.size(); ++J)
     B[J] += SecondE.vector()[J];

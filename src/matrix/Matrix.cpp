@@ -91,6 +91,25 @@ Vector Matrix::leftMultiply(const Vector &V) const {
   return R;
 }
 
+bool Matrix::isDiagonal() const {
+  if (NumRows != NumCols)
+    return false;
+  for (size_t R = 0; R != NumRows; ++R)
+    for (size_t C = 0; C != NumCols; ++C)
+      if (R != C && at(R, C) != 0.0)
+        return false;
+  return true;
+}
+
+bool Matrix::isIdentity() const {
+  if (!isDiagonal())
+    return false;
+  for (size_t R = 0; R != NumRows; ++R)
+    if (at(R, R) != 1.0)
+      return false;
+  return true;
+}
+
 Vector Matrix::column(size_t C) const {
   assert(C < NumCols && "column out of range");
   Vector V(NumRows);

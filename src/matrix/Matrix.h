@@ -103,6 +103,16 @@ public:
 
   size_t countNonZero() const;
 
+  /// True for a square matrix whose off-diagonal entries are all zero
+  /// (diagonal entries are unconstrained). The pipeline-combination fast
+  /// paths use these to skip the general product when one factor is a
+  /// diagonal scaling or an exact identity (expanded Identity/Gain
+  /// filters produce these); results are elementwise equal to the general
+  /// product up to the sign of zero entries.
+  bool isDiagonal() const;
+  /// True for a square diagonal matrix whose diagonal is exactly 1.0.
+  bool isIdentity() const;
+
   bool operator==(const Matrix &O) const {
     return NumRows == O.NumRows && NumCols == O.NumCols && Data == O.Data;
   }

@@ -9,13 +9,33 @@ using namespace slin;
 
 namespace {
 
+/// Error sink for the solver: the first failure wins and every caller
+/// returns early once it is set, so a malformed graph produces one
+/// precise message instead of a cascade (or an abort — the verifier pass
+/// runs the solver over deliberately corrupted rewrites and must get the
+/// diagnostic back as a value).
+struct RateErr {
+  std::string Msg;
+  bool failed() const { return !Msg.empty(); }
+  void set(const std::string &M) {
+    if (Msg.empty())
+      Msg = M;
+  }
+};
+
+RateSignature ratesOf(const Stream &S, RateErr &E);
+std::vector<int64_t> repsOf(const Stream &Container, RateErr &E);
+
 /// Scales a vector of positive rationals to the minimal integer vector
 /// with the same ratios.
-std::vector<int64_t> toMinimalIntegers(const std::vector<Rational> &Rats) {
+std::vector<int64_t> toMinimalIntegers(const std::vector<Rational> &Rats,
+                                       RateErr &E) {
   int64_t DenLcm = 1;
   for (const Rational &R : Rats) {
-    if (R.num() <= 0)
-      fatalError("non-positive repetition count while solving rates");
+    if (R.num() <= 0) {
+      E.set("non-positive repetition count while solving rates");
+      return {};
+    }
     DenLcm = lcm64(DenLcm, R.den());
   }
   std::vector<int64_t> Ints;
@@ -32,44 +52,74 @@ std::vector<int64_t> toMinimalIntegers(const std::vector<Rational> &Rats) {
   return Ints;
 }
 
-std::vector<int64_t> pipelineRepetitions(const Pipeline &P) {
+std::vector<int64_t> pipelineRepetitions(const Pipeline &P, RateErr &E) {
   const auto &Children = P.children();
-  if (Children.empty())
-    fatalError("empty pipeline '" + P.name() + "'");
+  if (Children.empty()) {
+    E.set("empty pipeline '" + P.name() + "'");
+    return {};
+  }
   std::vector<Rational> Reps;
   Reps.push_back(Rational(1));
-  RateSignature Prev = computeRates(*Children.front());
-  for (size_t I = 1; I != Children.size(); ++I) {
-    RateSignature Cur = computeRates(*Children[I]);
-    if (Prev.Push == 0)
-      fatalError("pipeline '" + P.name() + "': child " +
-                 std::to_string(I - 1) + " pushes nothing but is not last");
-    if (Cur.Pop == 0)
-      fatalError("pipeline '" + P.name() + "': child " + std::to_string(I) +
-                 " pops nothing but is not first");
+  RateSignature Prev = ratesOf(*Children.front(), E);
+  for (size_t I = 1; I != Children.size() && !E.failed(); ++I) {
+    RateSignature Cur = ratesOf(*Children[I], E);
+    if (E.failed())
+      break;
+    if (Prev.Push == 0) {
+      E.set("pipeline '" + P.name() + "': child " + std::to_string(I - 1) +
+            " pushes nothing but is not last");
+      break;
+    }
+    if (Cur.Pop == 0) {
+      E.set("pipeline '" + P.name() + "': child " + std::to_string(I) +
+            " pops nothing but is not first");
+      break;
+    }
     Reps.push_back(Reps.back() * Rational(Prev.Push, Cur.Pop));
     Prev = Cur;
   }
-  return toMinimalIntegers(Reps);
+  if (E.failed())
+    return {};
+  return toMinimalIntegers(Reps, E);
 }
 
-std::vector<int64_t> splitJoinRepetitions(const SplitJoin &SJ) {
+bool nonNegativeWeights(const std::vector<int> &Weights) {
+  for (int W : Weights)
+    if (W < 0)
+      return false;
+  return true;
+}
+
+std::vector<int64_t> splitJoinRepetitions(const SplitJoin &SJ, RateErr &E) {
   const auto &Children = SJ.children();
   size_t N = Children.size();
-  if (N == 0)
-    fatalError("empty splitjoin '" + SJ.name() + "'");
+  if (N == 0) {
+    E.set("empty splitjoin '" + SJ.name() + "'");
+    return {};
+  }
   const Splitter &Split = SJ.splitter();
   const Joiner &Join = SJ.joiner();
-  if (Join.Weights.size() != N)
-    fatalError("splitjoin '" + SJ.name() + "': joiner weight count mismatch");
-  if (Split.Kind == Splitter::RoundRobin && Split.Weights.size() != N)
-    fatalError("splitjoin '" + SJ.name() +
-               "': splitter weight count mismatch");
+  if (Join.Weights.size() != N) {
+    E.set("splitjoin '" + SJ.name() + "': joiner weight count mismatch");
+    return {};
+  }
+  if (Split.Kind == Splitter::RoundRobin && Split.Weights.size() != N) {
+    E.set("splitjoin '" + SJ.name() + "': splitter weight count mismatch");
+    return {};
+  }
+  if (!nonNegativeWeights(Join.Weights) ||
+      !nonNegativeWeights(Split.Weights)) {
+    E.set("splitjoin '" + SJ.name() + "': negative splitter/joiner weight");
+    return {};
+  }
 
   std::vector<RateSignature> Rates;
   Rates.reserve(N);
-  for (const StreamPtr &C : Children)
-    Rates.push_back(computeRates(*C));
+  for (const StreamPtr &C : Children) {
+    Rates.push_back(ratesOf(*C, E));
+    if (E.failed())
+      return {};
+  }
 
   // Derive child repetitions from the joiner when every child produces
   // output, otherwise from the splitter; verify the other side.
@@ -83,53 +133,67 @@ std::vector<int64_t> splitJoinRepetitions(const SplitJoin &SJ) {
       Reps[K] = Rational(Join.Weights[K], Rates[K].Push);
   } else if (Split.Kind == Splitter::RoundRobin) {
     for (size_t K = 0; K != N; ++K) {
-      if (Rates[K].Pop == 0)
-        fatalError("splitjoin '" + SJ.name() +
-                   "': child neither consumes nor produces");
+      if (Rates[K].Pop == 0) {
+        E.set("splitjoin '" + SJ.name() +
+              "': child neither consumes nor produces");
+        return {};
+      }
       Reps[K] = Rational(Split.Weights[K], Rates[K].Pop);
     }
   } else {
     for (size_t K = 0; K != N; ++K) {
-      if (Rates[K].Pop == 0)
-        fatalError("splitjoin '" + SJ.name() +
-                   "': child neither consumes nor produces");
+      if (Rates[K].Pop == 0) {
+        E.set("splitjoin '" + SJ.name() +
+              "': child neither consumes nor produces");
+        return {};
+      }
       Reps[K] = Rational(1, Rates[K].Pop);
     }
   }
 
-  std::vector<int64_t> Ints = toMinimalIntegers(Reps);
+  std::vector<int64_t> Ints = toMinimalIntegers(Reps, E);
+  if (E.failed())
+    return {};
 
   // Consistency checks on the side not used for derivation.
   if (Split.Kind == Splitter::Duplicate) {
     int64_t Consumed = Rates[0].Pop * Ints[0];
     for (size_t K = 1; K != N; ++K)
-      if (Rates[K].Pop * Ints[K] != Consumed)
-        fatalError("splitjoin '" + SJ.name() +
-                   "': duplicate children consume mismatched amounts");
+      if (Rates[K].Pop * Ints[K] != Consumed) {
+        E.set("splitjoin '" + SJ.name() +
+              "': duplicate children consume mismatched amounts");
+        return {};
+      }
   } else {
     Rational SplitRep(0);
     for (size_t K = 0; K != N; ++K) {
       if (Split.Weights[K] == 0) {
-        if (Rates[K].Pop != 0)
-          fatalError("splitjoin '" + SJ.name() +
-                     "': zero-weight child consumes input");
+        if (Rates[K].Pop != 0) {
+          E.set("splitjoin '" + SJ.name() +
+                "': zero-weight child consumes input");
+          return {};
+        }
         continue;
       }
       Rational R(Rates[K].Pop * Ints[K], Split.Weights[K]);
       if (K == 0)
         SplitRep = R;
-      else if (!(SplitRep == R))
-        fatalError("splitjoin '" + SJ.name() +
-                   "': roundrobin splitter rates inconsistent");
+      else if (!(SplitRep == R)) {
+        E.set("splitjoin '" + SJ.name() +
+              "': roundrobin splitter rates inconsistent");
+        return {};
+      }
     }
   }
   if (AllPush) {
     // Joiner already used; nothing further to check.
   } else {
     for (size_t K = 0; K != N; ++K)
-      if ((Rates[K].Push == 0) != (Join.Weights[K] == 0))
-        fatalError("splitjoin '" + SJ.name() +
-                   "': joiner weight for non-producing child");
+      if ((Rates[K].Push == 0) != (Join.Weights[K] == 0)) {
+        E.set("splitjoin '" + SJ.name() +
+              "': joiner weight for non-producing child");
+        return {};
+      }
   }
 
   // The minimal vector balances the children against each other, but a
@@ -162,16 +226,35 @@ std::vector<int64_t> splitJoinRepetitions(const SplitJoin &SJ) {
   return Ints;
 }
 
-std::vector<int64_t> feedbackLoopRepetitions(const FeedbackLoop &FB) {
-  RateSignature Body = computeRates(FB.body());
-  RateSignature Loop = computeRates(FB.loop());
+std::vector<int64_t> feedbackLoopRepetitions(const FeedbackLoop &FB,
+                                             RateErr &E) {
+  RateSignature Body = ratesOf(FB.body(), E);
+  RateSignature Loop = ratesOf(FB.loop(), E);
+  if (E.failed())
+    return {};
   const Joiner &Join = FB.joiner();
   const Splitter &Split = FB.splitter();
-  if (Join.Weights.size() != 2)
-    fatalError("feedbackloop '" + FB.name() + "': joiner needs two weights");
-  if (Split.Kind != Splitter::RoundRobin || Split.Weights.size() != 2)
-    fatalError("feedbackloop '" + FB.name() +
-               "': splitter must be roundrobin with two weights");
+  if (Join.Weights.size() != 2) {
+    E.set("feedbackloop '" + FB.name() + "': joiner needs two weights");
+    return {};
+  }
+  if (Split.Kind != Splitter::RoundRobin || Split.Weights.size() != 2) {
+    E.set("feedbackloop '" + FB.name() +
+          "': splitter must be roundrobin with two weights");
+    return {};
+  }
+  if (!nonNegativeWeights(Join.Weights) ||
+      !nonNegativeWeights(Split.Weights)) {
+    E.set("feedbackloop '" + FB.name() +
+          "': negative splitter/joiner weight");
+    return {};
+  }
+  if (Join.totalWeight() == 0 || Split.totalWeight() == 0 ||
+      Loop.Pop == 0) {
+    E.set("feedbackloop '" + FB.name() +
+          "': joiner, splitter or loop stream moves no items");
+    return {};
+  }
 
   // Unknowns: body reps B, loop reps L, joiner cycles J, splitter cycles S.
   //   o_b * B = (w0 + w1) * J      u_b * B = (s0 + s1) * S
@@ -180,28 +263,30 @@ std::vector<int64_t> feedbackLoopRepetitions(const FeedbackLoop &FB) {
   Rational J = Rational(Body.Pop) / Rational(Join.totalWeight());
   Rational S = Rational(Body.Push) / Rational(Split.totalWeight());
   Rational L = Rational(Split.Weights[1]) * S / Rational(Loop.Pop);
-  if (!(Rational(Loop.Push) * L == Rational(Join.Weights[1]) * J))
-    fatalError("feedbackloop '" + FB.name() + "': inconsistent loop rates");
-  return toMinimalIntegers({B, L});
+  if (!(Rational(Loop.Push) * L == Rational(Join.Weights[1]) * J)) {
+    E.set("feedbackloop '" + FB.name() + "': inconsistent loop rates");
+    return {};
+  }
+  return toMinimalIntegers({B, L}, E);
 }
 
-} // namespace
-
-std::vector<int64_t> slin::childRepetitions(const Stream &Container) {
+std::vector<int64_t> repsOf(const Stream &Container, RateErr &E) {
   switch (Container.kind()) {
   case StreamKind::Filter:
     return {};
   case StreamKind::Pipeline:
-    return pipelineRepetitions(*cast<Pipeline>(&Container));
+    return pipelineRepetitions(*cast<Pipeline>(&Container), E);
   case StreamKind::SplitJoin:
-    return splitJoinRepetitions(*cast<SplitJoin>(&Container));
+    return splitJoinRepetitions(*cast<SplitJoin>(&Container), E);
   case StreamKind::FeedbackLoop:
-    return feedbackLoopRepetitions(*cast<FeedbackLoop>(&Container));
+    return feedbackLoopRepetitions(*cast<FeedbackLoop>(&Container), E);
   }
   unreachable("unknown stream kind");
 }
 
-RateSignature slin::computeRates(const Stream &S) {
+RateSignature ratesOf(const Stream &S, RateErr &E) {
+  if (E.failed())
+    return {};
   switch (S.kind()) {
   case StreamKind::Filter: {
     const auto *F = cast<Filter>(&S);
@@ -209,9 +294,13 @@ RateSignature slin::computeRates(const Stream &S) {
   }
   case StreamKind::Pipeline: {
     const auto *P = cast<Pipeline>(&S);
-    std::vector<int64_t> Reps = childRepetitions(S);
-    RateSignature First = computeRates(*P->children().front());
-    RateSignature Last = computeRates(*P->children().back());
+    std::vector<int64_t> Reps = repsOf(S, E);
+    if (E.failed())
+      return {};
+    RateSignature First = ratesOf(*P->children().front(), E);
+    RateSignature Last = ratesOf(*P->children().back(), E);
+    if (E.failed())
+      return {};
     RateSignature R;
     R.Pop = mulSat64(First.Pop, Reps.front());
     R.Peek = addSat64(R.Pop, First.Peek - First.Pop);
@@ -220,19 +309,21 @@ RateSignature slin::computeRates(const Stream &S) {
   }
   case StreamKind::SplitJoin: {
     const auto *SJ = cast<SplitJoin>(&S);
-    std::vector<int64_t> Reps = childRepetitions(S);
+    std::vector<int64_t> Reps = repsOf(S, E);
+    if (E.failed())
+      return {};
     const auto &Children = SJ->children();
     RateSignature R;
     R.Push = 0;
     for (size_t K = 0; K != Children.size(); ++K)
-      R.Push = addSat64(
-          R.Push, mulSat64(computeRates(*Children[K]).Push, Reps[K]));
+      R.Push = addSat64(R.Push,
+                        mulSat64(ratesOf(*Children[K], E).Push, Reps[K]));
 
     if (SJ->splitter().Kind == Splitter::Duplicate) {
       int64_t MaxPeek = 0;
       int64_t Consumed = 0;
       for (size_t K = 0; K != Children.size(); ++K) {
-        RateSignature C = computeRates(*Children[K]);
+        RateSignature C = ratesOf(*Children[K], E);
         Consumed = mulSat64(C.Pop, Reps[K]);
         MaxPeek = std::max(MaxPeek, addSat64(Consumed, C.Peek - C.Pop));
       }
@@ -246,7 +337,7 @@ RateSignature slin::computeRates(const Stream &S) {
       for (size_t K = 0; K != Children.size(); ++K) {
         if (SJ->splitter().Weights[K] == 0)
           continue;
-        RateSignature C = computeRates(*Children[K]);
+        RateSignature C = ratesOf(*Children[K], E);
         SplitRep = mulSat64(C.Pop, Reps[K]) / SJ->splitter().Weights[K];
         ExtraPeek = std::max(ExtraPeek, C.Peek - C.Pop);
       }
@@ -260,8 +351,10 @@ RateSignature slin::computeRates(const Stream &S) {
   }
   case StreamKind::FeedbackLoop: {
     const auto *FB = cast<FeedbackLoop>(&S);
-    std::vector<int64_t> Reps = childRepetitions(S);
-    RateSignature Body = computeRates(FB->body());
+    std::vector<int64_t> Reps = repsOf(S, E);
+    if (E.failed())
+      return {};
+    RateSignature Body = ratesOf(FB->body(), E);
     int64_t JoinCycles =
         mulSat64(Body.Pop, Reps[0]) / FB->joiner().totalWeight();
     int64_t SplitCycles =
@@ -274,4 +367,46 @@ RateSignature slin::computeRates(const Stream &S) {
   }
   }
   unreachable("unknown stream kind");
+}
+
+} // namespace
+
+std::vector<int64_t> slin::childRepetitions(const Stream &Container) {
+  RateErr E;
+  std::vector<int64_t> R = repsOf(Container, E);
+  if (E.failed())
+    fatalError(E.Msg);
+  return R;
+}
+
+RateSignature slin::computeRates(const Stream &S) {
+  RateErr E;
+  RateSignature R = ratesOf(S, E);
+  if (E.failed())
+    fatalError(E.Msg);
+  return R;
+}
+
+std::optional<RateSignature> slin::tryComputeRates(const Stream &S,
+                                                   std::string *Err) {
+  RateErr E;
+  RateSignature R = ratesOf(S, E);
+  if (E.failed()) {
+    if (Err)
+      *Err = E.Msg;
+    return std::nullopt;
+  }
+  return R;
+}
+
+std::optional<std::vector<int64_t>>
+slin::tryChildRepetitions(const Stream &Container, std::string *Err) {
+  RateErr E;
+  std::vector<int64_t> R = repsOf(Container, E);
+  if (E.failed()) {
+    if (Err)
+      *Err = E.Msg;
+    return std::nullopt;
+  }
+  return R;
 }

@@ -15,6 +15,8 @@
 #include "graph/Stream.h"
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace slin {
@@ -38,6 +40,15 @@ RateSignature computeRates(const Stream &S);
 /// ordered like children(); for a FeedbackLoop it is {body, loop}.
 /// A Filter has no children; returns {}.
 std::vector<int64_t> childRepetitions(const Stream &Container);
+
+/// Non-fatal variants for the verifier pass (opt/Cleanup.h): on a graph
+/// without a valid steady state they return nullopt and report the
+/// offending construct in \p Err instead of aborting. Identical results
+/// to the fatal versions on well-formed graphs.
+std::optional<RateSignature> tryComputeRates(const Stream &S,
+                                             std::string *Err = nullptr);
+std::optional<std::vector<int64_t>>
+tryChildRepetitions(const Stream &Container, std::string *Err = nullptr);
 
 } // namespace slin
 

@@ -303,15 +303,34 @@ TEST(CompilerPipeline, RecordsPassTimings) {
   O.Mode = OptMode::Linear;
   O.Exec.Eng = Engine::Compiled;
   O.UseProgramCache = false;
+  O.VerifyAfterEachPass = false; // keep the pass list env-independent
   CompileResult R = compileStream(*Root, O);
   std::vector<std::string> Names;
   for (const PassInfo &P : R.Passes)
     Names.push_back(P.Name);
   EXPECT_EQ(Names,
             (std::vector<std::string>{"linear-analysis", "linear-replacement",
+                                      "linear-const-fold", "dead-channel-elim",
                                       "flatten", "schedule", "tape-compile"}));
   EXPECT_FALSE(R.timingReport().empty());
   EXPECT_GT(R.totalSeconds(), 0.0);
+}
+
+TEST(CompilerPipeline, VerifierPassesAreRecordedWhenEnabled) {
+  StreamPtr Root = apps::buildFIR(64);
+  PipelineOptions O;
+  O.Mode = OptMode::Linear;
+  O.Exec.Eng = Engine::Compiled;
+  O.UseProgramCache = false;
+  O.VerifyAfterEachPass = true;
+  CompileResult R = compileStream(*Root, O);
+  bool SawRates = false, SawSchedule = false;
+  for (const PassInfo &P : R.Passes) {
+    SawRates = SawRates || P.Name == "verify-rates";
+    SawSchedule = SawSchedule || P.Name == "verify-schedule";
+  }
+  EXPECT_TRUE(SawRates);
+  EXPECT_TRUE(SawSchedule);
 }
 
 TEST(CompilerPipeline, DumpAfterPassWritesDotAndJson) {

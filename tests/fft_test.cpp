@@ -139,6 +139,10 @@ TEST(FFT, ConvolutionViaHalfComplex) {
 }
 
 TEST(FFT, RealPathIsCheaperThanComplexPath) {
+#if !SLIN_COUNT_OPS
+  GTEST_SKIP() << "op accounting compiled out (SLIN_COUNT_OPS=OFF)";
+#endif
+
   // The "FFTW tier" (planned real path) must beat the "simple tier"
   // (recursive complex FFT) in multiplication count — this gap is what
   // Figure 5-12(d) vs (b) measures.

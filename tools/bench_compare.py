@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json trajectory.
+
+Compares a run's benchmark JSON (written by bench/BenchUtil.h's JsonReport
+into $SLIN_BENCH_DIR) against a committed baseline snapshot and fails when
+any entry's headline wall-clock metric regressed by more than the
+threshold. Entries are matched by (label, engine); the headline metric is
+the first wall-clock field an entry carries, in this preference order:
+
+    ns_per_output, ms, warm_ms, cold_ms, seconds
+
+FLOP/multiplication counts are deterministic and checked by the test
+suite, so only wall-clock fields gate here. New benchmarks and new
+entries pass ungated (they have no baseline yet); a baseline entry
+missing from the current run fails, so coverage cannot silently shrink.
+
+Usage:
+    bench_compare.py BASELINE_DIR CURRENT_DIR [--threshold 0.25]
+    bench_compare.py BASELINE_DIR CURRENT_DIR --update   # refresh baseline
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+HEADLINE_PREFERENCE = ["ns_per_output", "ms", "warm_ms", "cold_ms", "seconds"]
+
+
+def headline(entry):
+    for key in HEADLINE_PREFERENCE:
+        value = entry.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            return key, float(value)
+    return None, None
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    entries = {}
+    for entry in doc.get("entries", []):
+        entries[(entry.get("label"), entry.get("engine"))] = entry
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir")
+    parser.add_argument("current_dir")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated relative regression (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the current BENCH_*.json over the baseline and exit",
+    )
+    args = parser.parse_args()
+
+    current_files = sorted(
+        f
+        for f in os.listdir(args.current_dir)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        stale = [
+            f
+            for f in os.listdir(args.baseline_dir)
+            if f.startswith("BENCH_")
+            and f.endswith(".json")
+            and f not in current_files
+        ]
+        for name in stale:
+            os.remove(os.path.join(args.baseline_dir, name))
+        for name in current_files:
+            shutil.copyfile(
+                os.path.join(args.current_dir, name),
+                os.path.join(args.baseline_dir, name),
+            )
+        print(
+            f"baseline refreshed: {len(current_files)} files"
+            + (f", {len(stale)} stale removed" if stale else "")
+        )
+        return 0
+
+    baseline_files = sorted(
+        f
+        for f in os.listdir(args.baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if not baseline_files:
+        print(f"error: no BENCH_*.json under {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    rows = []
+    compared = 0
+    for name in baseline_files:
+        current_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(current_path):
+            failures.append(f"{name}: missing from the current run")
+            continue
+        base_entries = load(os.path.join(args.baseline_dir, name))
+        cur_entries = load(current_path)
+        for key, base_entry in sorted(base_entries.items(), key=str):
+            label, engine = key
+            metric, base_value = headline(base_entry)
+            if metric is None:
+                continue  # counters-only entry: nothing to gate
+            cur_entry = cur_entries.get(key)
+            if cur_entry is None:
+                failures.append(
+                    f"{name}: entry ({label}, {engine}) missing from the current run"
+                )
+                continue
+            cur_value = cur_entry.get(metric)
+            if not isinstance(cur_value, (int, float)) or cur_value <= 0:
+                failures.append(
+                    f"{name}: ({label}, {engine}) lost its {metric} field"
+                )
+                continue
+            compared += 1
+            delta = cur_value / base_value - 1.0
+            marker = ""
+            if delta > args.threshold:
+                marker = "  << REGRESSION"
+                failures.append(
+                    f"{name}: ({label}, {engine}) {metric} "
+                    f"{base_value:.3f} -> {cur_value:.3f} ({delta:+.1%})"
+                )
+            rows.append(
+                f"  {name[6:-5]:<24} {label:<28} {engine:<9} {metric:<14}"
+                f"{base_value:>14.3f} {cur_value:>14.3f} {delta:>+8.1%}{marker}"
+            )
+
+    print(
+        f"  {'benchmark':<24} {'label':<28} {'engine':<9} {'metric':<14}"
+        f"{'baseline':>14} {'current':>14} {'delta':>8}"
+    )
+    for row in rows:
+        print(row)
+    print(f"\ncompared {compared} entries at threshold +{args.threshold:.0%}")
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("PASS: no entry regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
