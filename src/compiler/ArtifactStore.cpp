@@ -6,14 +6,23 @@
 #include "opt/Frequency.h"
 #include "opt/LinearReplacement.h"
 #include "support/Diag.h"
+#include "support/FaultInjection.h"
 #include "support/Serialize.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <dirent.h>
+#include <fcntl.h>
 #include <map>
+#include <signal.h>
 #include <sys/stat.h>
 #include <unistd.h>
+#include <vector>
 
 using namespace slin;
 using namespace slin::serial;
@@ -987,6 +996,83 @@ bool readWholeFile(const std::string &Path, std::vector<uint8_t> &Out) {
   return Ok;
 }
 
+/// One file in a directory listing, with the stat fields the
+/// maintenance passes sort and sum over.
+struct DirEntry {
+  std::string Name;
+  uint64_t Size = 0;
+  int64_t Mtime = 0;
+};
+
+/// Lists regular files in \p Dir (names only; no recursion).
+std::vector<DirEntry> listDir(const std::string &Dir) {
+  std::vector<DirEntry> Out;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Out;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name == "." || Name == "..")
+      continue;
+    struct stat St;
+    if (::stat((Dir + "/" + Name).c_str(), &St) != 0 ||
+        !S_ISREG(St.st_mode))
+      continue;
+    Out.push_back({std::move(Name), static_cast<uint64_t>(St.st_size),
+                   static_cast<int64_t>(St.st_mtime)});
+  }
+  ::closedir(D);
+  return Out;
+}
+
+/// EINTR-immune full write of \p Size bytes; returns 0 or the errno.
+int writeFully(int Fd, const uint8_t *Data, size_t Size) {
+  while (Size > 0) {
+    ssize_t N = ::write(Fd, Data, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return errno;
+    }
+    Data += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return 0;
+}
+
+/// Best-effort fsync of a directory (crash safety for the rename: the
+/// new directory entry reaches disk). Failure is not an error for the
+/// running process — the artifact is still readable — so it is ignored.
+void fsyncDir(const std::string &Dir) {
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
+/// Stale-tmp policy: a ".tmp.<pid>.<seq>" file is garbage once its
+/// writer is gone (kill(pid, 0) == ESRCH) or — when pids wrapped or the
+/// parse fails — once it is older than an hour; in-flight publishes
+/// live milliseconds.
+constexpr int64_t TmpMaxAgeSeconds = 3600;
+
+bool isStaleTmp(const DirEntry &E, int64_t Now) {
+  size_t Pos = E.Name.find(".tmp.");
+  if (Pos == std::string::npos)
+    return false;
+  const char *P = E.Name.c_str() + Pos + 5;
+  char *End = nullptr;
+  long Pid = std::strtol(P, &End, 10);
+  if (End != P && *End == '.' && Pid > 0) {
+    if (static_cast<pid_t>(Pid) == ::getpid())
+      return false; // our own in-flight publish
+    if (::kill(static_cast<pid_t>(Pid), 0) != 0 && errno == ESRCH)
+      return true;
+  }
+  return Now - E.Mtime > TmpMaxAgeSeconds;
+}
+
 } // namespace
 
 uint32_t ArtifactStore::formatVersion() { return FormatVersion; }
@@ -1003,6 +1089,23 @@ ArtifactStore::ArtifactStore(std::string Directory)
     : Dir(std::move(Directory)) {
   ensureBuiltinFactories();
   makeDirs(Dir);
+  if (const char *V = std::getenv("SLIN_STORE_MAX_BYTES"))
+    MaxBytes = std::strtoull(V, nullptr, 10);
+  if (const char *V = std::getenv("SLIN_STORE_TTL_S"))
+    TtlSeconds = std::strtoll(V, nullptr, 10);
+  sweepNow();
+}
+
+void ArtifactStore::setMaxBytes(uint64_t Bytes) {
+  MaxBytes = Bytes;
+  enforceQuota(std::string());
+}
+
+void ArtifactStore::setTtlSeconds(int64_t Seconds) { TtlSeconds = Seconds; }
+
+void ArtifactStore::sweepNow() {
+  sweepStaleTmp();
+  enforceTtl(std::string());
 }
 
 ArtifactStore *ArtifactStore::global() {
@@ -1052,9 +1155,13 @@ bool ArtifactStore::contains(const Key &K) const {
   return ::access(pathFor(K).c_str(), R_OK) == 0;
 }
 
-bool ArtifactStore::writeAtomic(const std::string &Path,
-                                const std::vector<uint8_t> &Header,
-                                const std::vector<uint8_t> &Payload) {
+/// One atomic publish attempt: write a unique temp file, fsync it,
+/// rename into place, fsync the directory. A failure at any step
+/// unlinks the temp file (counted in PublishFailures) — a failed
+/// publish must never leave litter behind — and reports what broke.
+Status ArtifactStore::writeAtomic(const std::string &Path,
+                                  const std::vector<uint8_t> &Header,
+                                  const std::vector<uint8_t> &Payload) {
   // Unique temp name per writer; rename() publishes atomically, so a
   // concurrent reader sees either nothing or a complete file, and racing
   // writers of the same key overwrite each other with identical bytes.
@@ -1065,26 +1172,97 @@ bool ArtifactStore::writeAtomic(const std::string &Path,
                 static_cast<unsigned long long>(
                     Seq.fetch_add(1, std::memory_order_relaxed)));
   std::string Tmp = Path + Suffix;
-  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
-  if (!F)
-    return false;
-  bool Ok =
-      (Header.empty() ||
-       std::fwrite(Header.data(), 1, Header.size(), F) == Header.size()) &&
-      (Payload.empty() ||
-       std::fwrite(Payload.data(), 1, Payload.size(), F) == Payload.size());
-  Ok = std::fclose(F) == 0 && Ok;
-  if (!Ok || std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    std::remove(Tmp.c_str());
-    return false;
+
+  auto Fail = [&](ErrorCode C, const std::string &What, int Err) {
+    ::unlink(Tmp.c_str());
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counters.PublishFailures;
+    }
+    std::string Msg = What;
+    if (Err)
+      Msg += std::string(": ") + std::strerror(Err);
+    return Status(C, Msg + " (" + Tmp + ")");
+  };
+
+  int Fd = -1;
+  do {
+    Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  } while (Fd < 0 && errno == EINTR);
+  if (Fd < 0)
+    return Fail(errno == ENOSPC ? ErrorCode::NoSpace : ErrorCode::IoError,
+                "open temp file", errno);
+
+  int Err = 0;
+  if (faults::shouldFail(faults::Point::StoreEnospc))
+    Err = ENOSPC;
+  else if (faults::shouldFail(faults::Point::ArtifactWriteShort))
+    Err = EIO; // a detected short write surfaces as an I/O error
+  else {
+    Err = writeFully(Fd, Header.data(), Header.size());
+    if (!Err)
+      Err = writeFully(Fd, Payload.data(), Payload.size());
+    // fsync before rename: once the new name exists, its contents are
+    // durable — a crash can lose the artifact, never publish a torn one.
+    if (!Err)
+      while (::fsync(Fd) != 0) {
+        if (errno != EINTR) {
+          Err = errno;
+          break;
+        }
+      }
   }
-  return true;
+  ::close(Fd);
+  if (Err)
+    return Fail(Err == ENOSPC ? ErrorCode::NoSpace : ErrorCode::IoError,
+                "write artifact bytes", Err);
+
+  if (faults::shouldFail(faults::Point::ArtifactRenameFail))
+    return Fail(ErrorCode::IoError, "rename (injected)", 0);
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0)
+    return Fail(errno == ENOSPC ? ErrorCode::NoSpace : ErrorCode::IoError,
+                "rename into place", errno);
+  fsyncDir(Dir);
+  return Status::ok();
+}
+
+/// Bounded retry with backoff around writeAtomic. ENOSPC first tries to
+/// free space by evicting the oldest artifacts; retries that still fail
+/// return the last Status and the caller stays memory-only.
+Status ArtifactStore::publishWithRetry(const std::string &Path,
+                                       const std::vector<uint8_t> &Header,
+                                       const std::vector<uint8_t> &Payload) {
+  constexpr int MaxAttempts = 3;
+  Status St;
+  for (int Attempt = 0; Attempt != MaxAttempts; ++Attempt) {
+    if (Attempt != 0) {
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Counters.IoRetries;
+      }
+      if (St.code() == ErrorCode::NoSpace)
+        evictForSpace(Header.size() + Payload.size(), Path);
+      // Exponential backoff (1ms, 4ms): long enough for a transient
+      // condition to clear, short enough to be invisible in a compile.
+      ::usleep(Attempt == 1 ? 1000 : 4000);
+    }
+    St = writeAtomic(Path, Header, Payload);
+    if (St.isOk())
+      return St;
+  }
+  return St;
 }
 
 bool ArtifactStore::store(const Key &K, const CompiledProgram &P) {
+  return tryStore(K, P).isOk();
+}
+
+Status ArtifactStore::tryStore(const Key &K, const CompiledProgram &P) {
   Writer Payload;
   if (!serializeProgram(Payload, P))
-    return false;
+    return Status(ErrorCode::Unserializable,
+                  "program holds a native filter without a serialTag")
+        .withContext("publish artifact");
   HashDigest PayloadHash =
       hashBytes(Payload.bytes().data(), Payload.size());
 
@@ -1100,29 +1278,45 @@ bool ArtifactStore::store(const Key &K, const CompiledProgram &P) {
   Header.u64(PayloadHash.Hi);
   Header.u64(Payload.size());
 
-  if (!writeAtomic(pathFor(K), Header.bytes(), Payload.bytes()))
-    return false;
-  std::lock_guard<std::mutex> Lock(Mutex);
-  ++Counters.Stores;
-  return true;
+  std::string Path = pathFor(K);
+  Status St = publishWithRetry(Path, Header.bytes(), Payload.bytes());
+  if (!St.isOk())
+    return St.withContext("publish artifact");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.Stores;
+  }
+  enforceTtl(Path);
+  enforceQuota(Path);
+  return Status::ok();
 }
 
 std::shared_ptr<const CompiledProgram> ArtifactStore::load(const Key &K) {
-  auto Miss = [&](bool FilePresent) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Counters.Misses;
-    if (FilePresent)
-      ++Counters.LoadFailures;
-    return nullptr;
+  Expected<std::shared_ptr<const CompiledProgram>> R = tryLoad(K);
+  return R ? R.take() : nullptr;
+}
+
+Expected<std::shared_ptr<const CompiledProgram>>
+ArtifactStore::tryLoad(const Key &K) {
+  auto Miss = [&](bool FilePresent, const std::string &Why) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counters.Misses;
+      if (FilePresent)
+        ++Counters.LoadFailures;
+    }
+    return Status(FilePresent ? ErrorCode::Corrupt : ErrorCode::IoError,
+                  Why)
+        .withContext("load artifact");
   };
 
   std::vector<uint8_t> Bytes;
   if (!readWholeFile(pathFor(K), Bytes))
-    return Miss(false);
+    return Miss(false, "no readable artifact file");
 
   constexpr size_t HeaderSize = 8 + 4 + 4 + 6 * 8 + 8;
   if (Bytes.size() < HeaderSize)
-    return Miss(true);
+    return Miss(true, "file shorter than the header");
   Reader H(Bytes.data(), HeaderSize);
   uint64_t Magic = H.u64();
   uint32_t Version = H.u32();
@@ -1135,21 +1329,22 @@ std::shared_ptr<const CompiledProgram> ArtifactStore::load(const Key &K) {
       Flags != buildFlags() || !(Structure == K.Structure) ||
       !(Options == K.Options) ||
       PayloadSize != Bytes.size() - HeaderSize)
-    return Miss(true);
+    return Miss(true, "header mismatch (magic/version/flags/key/size)");
 
   const uint8_t *Payload = Bytes.data() + HeaderSize;
   if (!(hashBytes(Payload, PayloadSize) == PayloadHash))
-    return Miss(true); // bit rot: recompile, never serve stale bytes
+    // Bit rot: recompile, never serve stale bytes.
+    return Miss(true, "payload checksum mismatch");
 
   Reader R(Payload, PayloadSize);
   auto Program = deserializeProgram(R);
   if (!Program)
-    return Miss(true);
+    return Miss(true, "malformed payload");
   // Defense in depth: the reconstructed stream must hash to the key it
   // was stored under, and its options must match the options digest.
   if (!(structuralHash(Program->root()) == K.Structure) ||
       !(hashOptions(Program->options()) == K.Options))
-    return Miss(true);
+    return Miss(true, "reconstructed program does not hash to its key");
 
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Counters.Hits;
@@ -1173,8 +1368,9 @@ bool ArtifactStore::storeAlias(const HashDigest &PipelineKey,
   Header.u32(buildFlags());
   Header.u64(BodyHash.Lo);
   Header.u64(BodyHash.Hi);
-  return writeAtomic(aliasPathFor(PipelineKey), Header.bytes(),
-                     Body.bytes());
+  return publishWithRetry(aliasPathFor(PipelineKey), Header.bytes(),
+                          Body.bytes())
+      .isOk();
 }
 
 bool ArtifactStore::loadAlias(const HashDigest &PipelineKey,
@@ -1213,4 +1409,111 @@ ArtifactStore::Stats ArtifactStore::stats() const {
 void ArtifactStore::resetStats() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Counters = Stats();
+}
+
+//===----------------------------------------------------------------------===//
+// Store maintenance: stale-tmp sweep, TTL expiry, size quota
+//===----------------------------------------------------------------------===//
+
+void ArtifactStore::sweepStaleTmp() {
+  int64_t Now = static_cast<int64_t>(::time(nullptr));
+  uint64_t Swept = 0;
+  for (const DirEntry &E : listDir(Dir))
+    if (isStaleTmp(E, Now) && ::unlink((Dir + "/" + E.Name).c_str()) == 0)
+      ++Swept;
+  if (Swept) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Counters.TmpSwept += Swept;
+  }
+}
+
+/// Removes published files older than the TTL. Artifact and alias files
+/// alike: an expired alias pointing at an evicted artifact would only
+/// buy a guaranteed miss.
+void ArtifactStore::enforceTtl(const std::string &JustPublished) {
+  if (TtlSeconds <= 0)
+    return;
+  int64_t Now = static_cast<int64_t>(::time(nullptr));
+  uint64_t N = 0, Bytes = 0;
+  for (const DirEntry &E : listDir(Dir)) {
+    std::string Path = Dir + "/" + E.Name;
+    if (Path == JustPublished || E.Name.find(".tmp.") != std::string::npos)
+      continue;
+    if (Now - E.Mtime > TtlSeconds && ::unlink(Path.c_str()) == 0) {
+      ++N;
+      Bytes += E.Size;
+    }
+  }
+  if (N) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Counters.Evictions += N;
+    Counters.EvictedBytes += Bytes;
+  }
+}
+
+/// Evicts oldest-first until the store fits its byte quota, never
+/// touching the file just published (evicting one's own fresh artifact
+/// would turn every store into a miss).
+void ArtifactStore::enforceQuota(const std::string &JustPublished) {
+  if (MaxBytes == 0)
+    return;
+  std::vector<DirEntry> Entries = listDir(Dir);
+  uint64_t Total = 0;
+  for (const DirEntry &E : Entries)
+    Total += E.Size;
+  if (Total <= MaxBytes)
+    return;
+  std::sort(Entries.begin(), Entries.end(),
+            [](const DirEntry &A, const DirEntry &B) {
+              return A.Mtime != B.Mtime ? A.Mtime < B.Mtime
+                                        : A.Name < B.Name;
+            });
+  uint64_t N = 0, Bytes = 0;
+  for (const DirEntry &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    std::string Path = Dir + "/" + E.Name;
+    if (Path == JustPublished || E.Name.find(".tmp.") != std::string::npos)
+      continue;
+    if (::unlink(Path.c_str()) == 0) {
+      Total -= E.Size;
+      ++N;
+      Bytes += E.Size;
+    }
+  }
+  if (N) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Counters.Evictions += N;
+    Counters.EvictedBytes += Bytes;
+  }
+}
+
+/// ENOSPC recovery: free at least \p BytesNeeded by evicting oldest
+/// files first; returns bytes actually reclaimed.
+uint64_t ArtifactStore::evictForSpace(uint64_t BytesNeeded,
+                                      const std::string &JustPublished) {
+  std::vector<DirEntry> Entries = listDir(Dir);
+  std::sort(Entries.begin(), Entries.end(),
+            [](const DirEntry &A, const DirEntry &B) {
+              return A.Mtime != B.Mtime ? A.Mtime < B.Mtime
+                                        : A.Name < B.Name;
+            });
+  uint64_t N = 0, Freed = 0;
+  for (const DirEntry &E : Entries) {
+    if (Freed >= BytesNeeded)
+      break;
+    std::string Path = Dir + "/" + E.Name;
+    if (Path == JustPublished)
+      continue;
+    if (::unlink(Path.c_str()) == 0) {
+      ++N;
+      Freed += E.Size;
+    }
+  }
+  if (N) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Counters.Evictions += N;
+    Counters.EvictedBytes += Freed;
+  }
+  return Freed;
 }

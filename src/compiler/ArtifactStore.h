@@ -19,6 +19,16 @@
 /// recompile. Writes go to a temp file renamed into place, so concurrent
 /// writers and crashed processes never publish a partial artifact.
 ///
+/// The store is crash-safe and self-maintaining: published bytes are
+/// fsynced before the rename (and the directory after), transient I/O
+/// failures (EINTR, ENOSPC) are retried with backoff — ENOSPC after an
+/// oldest-first eviction pass — construction sweeps stale `.tmp.*`
+/// litter left by dead writers, and SLIN_STORE_MAX_BYTES /
+/// SLIN_STORE_TTL_S bound the directory by size and age. Every
+/// maintenance action is counted in stats(). The tryStore/tryLoad
+/// front doors report failures as support/Error.h Statuses; the
+/// bool/pointer forms wrap them and degrade to the memory tier.
+///
 /// Alias records map a *pipeline-level* key (pre-optimization structural
 /// hash + the full pipeline configuration) to an artifact key, letting a
 /// warm process skip every compiler pass — analysis, selection,
@@ -30,8 +40,10 @@
 #define SLIN_COMPILER_ARTIFACTSTORE_H
 
 #include "compiler/Program.h"
+#include "support/Error.h"
 #include "support/Hashing.h"
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -78,9 +90,21 @@ public:
   /// a serialTag) or on I/O failure — callers lose nothing but the tier.
   bool store(const Key &K, const CompiledProgram &P);
 
+  /// Non-fatal front door behind store(): the same publish with the
+  /// failure explained. Transient I/O errors (EINTR, and ENOSPC after an
+  /// eviction pass) are retried with backoff a bounded number of times
+  /// before the Status is returned; the caller's degradation is
+  /// memory-only operation, never an abort.
+  Status tryStore(const Key &K, const CompiledProgram &P);
+
   /// Loads and validates the artifact for \p K; null on any miss or
   /// validation failure (corrupt, truncated, wrong version/flags/key).
   std::shared_ptr<const CompiledProgram> load(const Key &K);
+
+  /// Non-fatal front door behind load(): the miss/rejection explained
+  /// (ErrorCode::IoError for an unreadable file, Corrupt for a present
+  /// file that failed validation). The degradation is a clean recompile.
+  Expected<std::shared_ptr<const CompiledProgram>> tryLoad(const Key &K);
 
   /// Publishes a pipeline-key → artifact-key alias record.
   bool storeAlias(const HashDigest &PipelineKey, const Key &Artifact);
@@ -94,9 +118,26 @@ public:
     uint64_t Stores = 0;       ///< artifacts published
     uint64_t LoadFailures = 0; ///< files present but rejected (subset of Misses)
     uint64_t AliasHits = 0;
+    uint64_t PublishFailures = 0; ///< failed atomic publishes (tmp unlinked)
+    uint64_t IoRetries = 0;       ///< publish attempts retried after a failure
+    uint64_t TmpSwept = 0;        ///< stale .tmp.* files garbage-collected
+    uint64_t Evictions = 0;       ///< files evicted by the size/TTL policy
+    uint64_t EvictedBytes = 0;    ///< bytes reclaimed by those evictions
   };
   Stats stats() const;
   void resetStats();
+
+  /// Size/TTL eviction knobs, defaulted from SLIN_STORE_MAX_BYTES and
+  /// SLIN_STORE_TTL_S at construction (0: unlimited / no expiry).
+  /// Enforced after every publish, oldest files first, never evicting
+  /// the file just published. Setters are test hooks.
+  void setMaxBytes(uint64_t Bytes);
+  void setTtlSeconds(int64_t Seconds);
+
+  /// Runs the startup maintenance pass now: garbage-collects stale
+  /// .tmp.* files (writer process dead, or older than one hour) and
+  /// applies the TTL policy. Also runs at construction.
+  void sweepNow();
 
   /// Bumped whenever the serialized layout changes; old files become
   /// plain misses (never mis-parsed: the header is checked first).
@@ -112,11 +153,21 @@ public:
 
 private:
   std::string aliasPathFor(const HashDigest &PipelineKey) const;
-  bool writeAtomic(const std::string &Path,
-                   const std::vector<uint8_t> &Header,
-                   const std::vector<uint8_t> &Payload);
+  Status writeAtomic(const std::string &Path,
+                     const std::vector<uint8_t> &Header,
+                     const std::vector<uint8_t> &Payload);
+  Status publishWithRetry(const std::string &Path,
+                          const std::vector<uint8_t> &Header,
+                          const std::vector<uint8_t> &Payload);
+  void sweepStaleTmp();
+  void enforceTtl(const std::string &JustPublished);
+  void enforceQuota(const std::string &JustPublished);
+  uint64_t evictForSpace(uint64_t BytesNeeded,
+                         const std::string &JustPublished);
 
   std::string Dir;
+  uint64_t MaxBytes = 0;   ///< 0: unbounded
+  int64_t TtlSeconds = 0;  ///< 0: no expiry
   mutable std::mutex Mutex;
   mutable Stats Counters; ///< loadAlias (const) counts its hits
 };

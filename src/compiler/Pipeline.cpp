@@ -11,6 +11,7 @@
 #include "opt/Redundancy.h"
 #include "opt/Selection.h"
 #include "support/Diag.h"
+#include "support/FaultInjection.h"
 
 #include <chrono>
 #include <cstdio>
@@ -161,6 +162,40 @@ bool pipelineAliasKey(const Stream &Root, const PipelineOptions &Opts,
 } // namespace
 
 CompileResult CompilerPipeline::compile(const Stream &Root) const {
+  // The historical front door: environmental failures are impossible on
+  // this route's passes, so any error compileImpl reports is fatal.
+  return compileImpl(Root, Opts, nullptr);
+}
+
+Expected<CompileResult> CompilerPipeline::tryCompile(const Stream &Root) const {
+  Status St;
+  CompileResult R = compileImpl(Root, Opts, &St);
+  if (St.isOk())
+    return R;
+  // Degradation ladder: an optimization-pass or verifier failure means
+  // the *rewritten* program is suspect — the program as written is not.
+  // Recompile in Base mode and record why.
+  if (Opts.Mode == OptMode::Base)
+    return St.withContext("compile (base mode)");
+  PipelineOptions BaseOpts = Opts;
+  BaseOpts.Mode = OptMode::Base;
+  Status BaseSt;
+  CompileResult BaseR = compileImpl(Root, BaseOpts, &BaseSt);
+  if (!BaseSt.isOk())
+    return BaseSt.withContext("base-mode degraded recompile");
+  BaseR.Degraded = true;
+  BaseR.DegradeReason = St.str();
+  return BaseR;
+}
+
+/// The shared pipeline body. With \p St null any verification failure
+/// is fatal (compile()'s contract); with \p St non-null it is recorded
+/// there and the partial result returned (tryCompile()'s contract).
+/// \p Opts shadows the member deliberately: the degraded Base-mode
+/// recompile reruns this body under modified options.
+CompileResult CompilerPipeline::compileImpl(const Stream &Root,
+                                            const PipelineOptions &Opts,
+                                            Status *St) const {
   CompileResult R;
   AnalysisManager *AM = Opts.AM ? Opts.AM : &AnalysisManager::global();
 
@@ -168,16 +203,26 @@ CompileResult CompilerPipeline::compile(const Stream &Root) const {
   // after a rewrite pass, recorded as its own timed pass and fatal (with
   // the offending pass named) on the first inconsistency — a corrupted
   // rewrite dies here instead of as a wrong answer three passes later.
+  // The pass-verifier-trip fault point injects a failure here to drive
+  // the recovery ladder deterministically. Returns false when
+  // compilation must stop (recoverable mode only).
   auto verifyAfter = [&](const Stream &S) {
     if (!Opts.VerifyAfterEachPass)
-      return;
+      return true;
     std::string After = R.Passes.empty() ? "<input>" : R.Passes.back().Name;
     std::string Err =
         runPass(R, "verify-rates", [&] { return verifyStreamRates(S); });
     R.Passes.back().Note = "after " + After;
-    if (!Err.empty())
-      fatalError("rate verification failed after pass '" + After +
-                 "': " + Err);
+    if (Err.empty() && faults::shouldFail(faults::Point::PassVerifierTrip))
+      Err = "injected verifier trip";
+    if (Err.empty())
+      return true;
+    std::string Msg =
+        "rate verification failed after pass '" + After + "': " + Err;
+    if (!St)
+      fatalError(Msg);
+    *St = Status(ErrorCode::VerifyFailed, Msg);
+    return false;
   };
 
   // --- Persistent-artifact fast path -------------------------------------
@@ -256,7 +301,8 @@ CompileResult CompilerPipeline::compile(const Stream &Root) const {
   }
   }
   dumpAfterPass(Opts, R.Passes.size(), R.Passes.back().Name, *R.Optimized);
-  verifyAfter(*R.Optimized);
+  if (!verifyAfter(*R.Optimized))
+    return R;
 
   // --- Cleanup passes ----------------------------------------------------
   // Base mode runs the program as written; every other mode has already
@@ -272,7 +318,8 @@ CompileResult CompilerPipeline::compile(const Stream &Root) const {
       R.Optimized = std::move(Folded);
       dumpAfterPass(Opts, R.Passes.size(), "linear-const-fold",
                     *R.Optimized);
-      verifyAfter(*R.Optimized);
+      if (!verifyAfter(*R.Optimized))
+        return R;
     }
   }
   if (Opts.Mode != OptMode::Base && Opts.DeadChannelElim) {
@@ -285,7 +332,8 @@ CompileResult CompilerPipeline::compile(const Stream &Root) const {
       R.Optimized = std::move(Pruned);
       dumpAfterPass(Opts, R.Passes.size(), "dead-channel-elim",
                     *R.Optimized);
-      verifyAfter(*R.Optimized);
+      if (!verifyAfter(*R.Optimized))
+        return R;
     }
   }
 
@@ -328,8 +376,14 @@ CompileResult CompilerPipeline::compile(const Stream &Root) const {
         return verifySchedule(R.Program->graph(), R.Program->schedule());
       });
       R.Passes.back().Note = "after lower";
-      if (!Err.empty())
-        fatalError("schedule verification failed after lowering: " + Err);
+      if (!Err.empty()) {
+        std::string Msg =
+            "schedule verification failed after lowering: " + Err;
+        if (!St)
+          fatalError(Msg);
+        *St = Status(ErrorCode::VerifyFailed, Msg);
+        return R;
+      }
     }
   }
   // Leave a pipeline-key → artifact-key alias so the next warm start

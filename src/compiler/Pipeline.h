@@ -24,6 +24,7 @@
 #include "exec/ExecOptions.h"
 #include "opt/Frequency.h"
 #include "opt/LinearReplacement.h"
+#include "support/Error.h"
 
 #include <string>
 #include <vector>
@@ -111,6 +112,12 @@ struct CompileResult {
   bool ProgramCacheHit = false;
   std::vector<PassInfo> Passes;
 
+  /// tryCompile only: the requested configuration failed and this
+  /// result came from the degradation ladder (a Base-mode recompile).
+  /// DegradeReason records the original failure for observability.
+  bool Degraded = false;
+  std::string DegradeReason;
+
   double totalSeconds() const;
   /// Human-readable per-pass timing table.
   std::string timingReport() const;
@@ -120,12 +127,26 @@ class CompilerPipeline {
 public:
   explicit CompilerPipeline(PipelineOptions Opts) : Opts(std::move(Opts)) {}
 
-  /// Runs the configured passes on \p Root.
+  /// Runs the configured passes on \p Root. Fatal on a verifier
+  /// failure — the historical contract, kept for tools and tests that
+  /// want a broken rewrite to die loudly.
   CompileResult compile(const Stream &Root) const;
+
+  /// The serving-path front door: like compile(), but a recoverable
+  /// failure degrades instead of aborting. An optimization-pass or
+  /// verifier failure (real, or injected via the pass-verifier-trip
+  /// fault point) triggers one recompile in Base mode — the program as
+  /// written, the always-correct degradation target — with the original
+  /// failure recorded in CompileResult::DegradeReason. Only a failure
+  /// of that Base recompile (or of Base itself) returns a Status.
+  Expected<CompileResult> tryCompile(const Stream &Root) const;
 
   const PipelineOptions &options() const { return Opts; }
 
 private:
+  CompileResult compileImpl(const Stream &Root, const PipelineOptions &Opts,
+                            Status *St) const;
+
   PipelineOptions Opts;
 };
 

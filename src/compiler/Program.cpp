@@ -230,9 +230,10 @@ CompiledProgramRef ProgramCache::get(const Stream &Root,
     if (Hit) {
       if (WasHit)
         *WasHit = true;
-      if (NeedsPublish && !Store->contains(AK) && Store->store(AK, *Hit)) {
+      if (NeedsPublish && !Store->contains(AK)) {
+        bool Stored = Store->store(AK, *Hit);
         std::lock_guard<std::mutex> Lock(Mutex);
-        ++Counters.DiskStores;
+        ++(Stored ? Counters.DiskStores : Counters.DiskStoreFailures);
       }
       return Hit;
     }
@@ -254,9 +255,10 @@ CompiledProgramRef ProgramCache::get(const Stream &Root,
   // Compile outside the lock; a racing duplicate compile of the same
   // structure is wasteful but correct (first insert wins).
   auto Program = std::make_shared<const CompiledProgram>(Root, Opts);
-  if (Store && Store->store(AK, *Program)) {
+  if (Store) {
+    bool Stored = Store->store(AK, *Program);
     std::lock_guard<std::mutex> Lock(Mutex);
-    ++Counters.DiskStores;
+    ++(Stored ? Counters.DiskStores : Counters.DiskStoreFailures);
   }
   std::lock_guard<std::mutex> Lock(Mutex);
   return insertLocked(K, std::move(Program), /*Published=*/Store != nullptr,

@@ -186,6 +186,9 @@ public:
     uint64_t DiskHits = 0;
     uint64_t DiskMisses = 0;
     uint64_t DiskStores = 0;
+    /// Publishes that failed after the store's own retries (the program
+    /// stays memory-only; ArtifactStore::stats() has the failure detail).
+    uint64_t DiskStoreFailures = 0;
   };
   Stats stats() const;
   void resetStats();

@@ -5,8 +5,10 @@
 #include "support/Diag.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 using namespace slin;
 using namespace slin::flat;
@@ -290,18 +292,45 @@ size_t CompiledExecutor::outputsProduced() const {
   return Printed.size();
 }
 
-void CompiledExecutor::runIterations(int64_t Iters) {
+namespace {
+
+/// Deadline poll shared by the try* run loops, at firing-program
+/// granularity (a batch is microseconds; the check is a clock read).
+/// The exec-hang fault point simulates a wedged run: it parks the
+/// thread until the deadline trips — never indefinitely, so an unarmed
+/// or deadline-less test cannot wedge itself.
+Status checkDeadline(const faults::RunDeadline *DL) {
+  if (faults::shouldFail(faults::Point::ExecHang) && DL) {
+    while (!DL->expired())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (!DL)
+    return Status::ok();
+  if (DL->cancelled())
+    return Status(ErrorCode::Cancelled, "run cancelled");
+  if (DL->timedOut())
+    return Status(ErrorCode::Timeout, "run deadline expired");
+  return Status::ok();
+}
+
+} // namespace
+
+Status CompiledExecutor::tryRunIterations(int64_t Iters,
+                                          const faults::RunDeadline *DL) {
   if (!InitDone) {
     if (extInAvailable() < static_cast<size_t>(Sched.InitExternalNeed))
-      fatalError("stream graph deadlocked: initialization needs " +
-                 std::to_string(Sched.InitExternalNeed) +
-                 " external input items, have " +
-                 std::to_string(extInAvailable()));
+      return Status(ErrorCode::Deadlock,
+                    "stream graph deadlocked: initialization needs " +
+                        std::to_string(Sched.InitExternalNeed) +
+                        " external input items, have " +
+                        std::to_string(extInAvailable()));
     runProgram(Sched.InitProgram);
     compact();
     InitDone = true;
   }
   while (Iters > 0) {
+    if (Status St = checkDeadline(DL); !St.isOk())
+      return St;
     if (Iters >= Sched.BatchIterations &&
         extInAvailable() >= static_cast<size_t>(Sched.BatchExternalNeed)) {
       runProgram(Sched.BatchProgram);
@@ -311,14 +340,54 @@ void CompiledExecutor::runIterations(int64_t Iters) {
       runProgram(Sched.SteadyProgram);
       --Iters;
     } else {
-      fatalError("stream graph deadlocked: a steady-state iteration needs " +
-                 std::to_string(Sched.SteadyExternalNeed) +
-                 " external input items, have " +
-                 std::to_string(extInAvailable()) + " (" +
-                 std::to_string(Iters) + " iterations remaining)");
+      return Status(
+          ErrorCode::Deadlock,
+          "stream graph deadlocked: a steady-state iteration needs " +
+              std::to_string(Sched.SteadyExternalNeed) +
+              " external input items, have " +
+              std::to_string(extInAvailable()) + " (" +
+              std::to_string(Iters) + " iterations remaining)");
     }
     compact();
   }
+  return Status::ok();
+}
+
+void CompiledExecutor::runIterations(int64_t Iters) {
+  if (Status St = tryRunIterations(Iters); !St.isOk())
+    fatalError(St.message());
+}
+
+Status CompiledExecutor::trySeedSteadyState(int64_t StartIteration) {
+  const CompiledProgram::ShardInfo &SI = Prog->shardInfo();
+  // The asserts of seedSteadyState, checked: a worker thread must hand
+  // a seeding anomaly back to the parallel backend (which owns the
+  // sequential fallback), not abort the process.
+  if (!SI.Shardable)
+    return Status(ErrorCode::ShardAnomaly,
+                  "seeding requires a shardable program (" + SI.Reason +
+                      ")");
+  if (InitDone || Firings != 0)
+    return Status(ErrorCode::ShardAnomaly, "seed only a fresh executor");
+  for (const CompiledProgram::ShardInfo::FieldSeed &Seed : SI.Seeds) {
+    if (Seed.Node < 0 ||
+        static_cast<size_t>(Seed.Node) >= States.size() ||
+        Graph.Nodes[static_cast<size_t>(Seed.Node)].Kind !=
+            flat::NodeKind::Filter ||
+        Seed.Field < 0 ||
+        static_cast<size_t>(Seed.Field) >=
+            States[static_cast<size_t>(Seed.Node)].Fields.Values.size())
+      return Status(ErrorCode::ShardAnomaly,
+                    "shard seed recipe references node " +
+                        std::to_string(Seed.Node) + " field " +
+                        std::to_string(Seed.Field) +
+                        " outside the program");
+  }
+  if (faults::shouldFail(faults::Point::ShardSeedCorrupt))
+    return Status(ErrorCode::ShardAnomaly,
+                  "injected shard-seed corruption");
+  seedSteadyState(StartIteration);
+  return Status::ok();
 }
 
 void CompiledExecutor::seedSteadyState(int64_t StartIteration) {
@@ -368,20 +437,24 @@ void CompiledExecutor::seedSteadyState(int64_t StartIteration) {
   InitDone = true;
 }
 
-void CompiledExecutor::run(size_t NOutputs) {
+Status CompiledExecutor::tryRun(size_t NOutputs,
+                                const faults::RunDeadline *DL) {
   if (outputsProduced() >= NOutputs)
-    return;
+    return Status::ok();
   if (!InitDone) {
     if (extInAvailable() < static_cast<size_t>(Sched.InitExternalNeed))
-      fatalError("stream graph deadlocked: initialization needs " +
-                 std::to_string(Sched.InitExternalNeed) +
-                 " external input items, have " +
-                 std::to_string(extInAvailable()));
+      return Status(ErrorCode::Deadlock,
+                    "stream graph deadlocked: initialization needs " +
+                        std::to_string(Sched.InitExternalNeed) +
+                        " external input items, have " +
+                        std::to_string(extInAvailable()));
     runProgram(Sched.InitProgram);
     compact();
     InitDone = true;
   }
   while (outputsProduced() < NOutputs) {
+    if (Status St = checkDeadline(DL); !St.isOk())
+      return St;
     size_t Before = outputsProduced();
     if (extInAvailable() >= static_cast<size_t>(Sched.BatchExternalNeed))
       runProgram(Sched.BatchProgram);
@@ -389,15 +462,24 @@ void CompiledExecutor::run(size_t NOutputs) {
              static_cast<size_t>(Sched.SteadyExternalNeed))
       runProgram(Sched.SteadyProgram);
     else
-      fatalError("stream graph deadlocked: a steady-state iteration needs " +
-                 std::to_string(Sched.SteadyExternalNeed) +
-                 " external input items, have " +
-                 std::to_string(extInAvailable()) + " (needed " +
-                 std::to_string(NOutputs) + " outputs, have " +
-                 std::to_string(outputsProduced()) + ")");
+      return Status(
+          ErrorCode::Deadlock,
+          "stream graph deadlocked: a steady-state iteration needs " +
+              std::to_string(Sched.SteadyExternalNeed) +
+              " external input items, have " +
+              std::to_string(extInAvailable()) + " (needed " +
+              std::to_string(NOutputs) + " outputs, have " +
+              std::to_string(outputsProduced()) + ")");
     compact();
     if (outputsProduced() == Before)
-      fatalError("stream graph deadlocked: steady state produces no "
-                 "observable output");
+      return Status(ErrorCode::Deadlock,
+                    "stream graph deadlocked: steady state produces no "
+                    "observable output");
   }
+  return Status::ok();
+}
+
+void CompiledExecutor::run(size_t NOutputs) {
+  if (Status St = tryRun(NOutputs); !St.isOk())
+    fatalError(St.message());
 }

@@ -33,6 +33,8 @@
 #include "exec/ExecOptions.h"
 #include "exec/FlatGraph.h"
 #include "sched/Schedule.h"
+#include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "wir/OpTape.h"
 
 namespace slin {
@@ -78,6 +80,18 @@ public:
   /// reference runs must execute identical firing sequences.
   void runIterations(int64_t Iters);
 
+  /// Serving-path front doors behind run()/runIterations(): a deadlock
+  /// (insufficient input / unproductive steady state) comes back as
+  /// ErrorCode::Deadlock instead of aborting, and an optional \p DL is
+  /// polled between firing programs so a runaway (or injected-hang) run
+  /// returns Timeout/Cancelled. On any non-Ok Status the executor's
+  /// state is indeterminate mid-stream — recover by rerunning on a
+  /// fresh executor, never by continuing this one.
+  Status tryRun(size_t NOutputs,
+                const faults::RunDeadline *DL = nullptr);
+  Status tryRunIterations(int64_t Iters,
+                          const faults::RunDeadline *DL = nullptr);
+
   /// Places this (freshly instantiated) executor at the state boundary of
   /// steady iteration \p StartIteration without executing iterations
   /// 0..StartIteration-1: channels are filled to their post-init live
@@ -88,6 +102,13 @@ public:
   /// everything after it — is bit-identical to a sequential run. Only
   /// valid on shardable programs.
   void seedSteadyState(int64_t StartIteration);
+
+  /// seedSteadyState with the preconditions *checked*: a non-shardable
+  /// program, a stale executor, or an out-of-range seed recipe (and the
+  /// shard-seed-corrupt fault point) return ErrorCode::ShardAnomaly
+  /// instead of asserting — the parallel backend's cue to fall back to
+  /// its sequential path.
+  Status trySeedSteadyState(int64_t StartIteration);
 
   /// Items on the external output channel (never consumed).
   std::vector<double> outputSnapshot() const { return ExtOut; }

@@ -62,8 +62,10 @@ int64_t ParallelExecutor::consumedInputItems() const {
 
 /// Executes one shard: seeds (or genuinely initializes) a fresh executor
 /// at the shard boundary, replays the washout with counting off, then
-/// runs the shard span and keeps only its outputs and op deltas.
+/// runs the shard span and keeps only its outputs and op deltas. Any
+/// failure lands in Result.St (never aborts off the main thread).
 void ParallelExecutor::runShard(int64_t Start, int64_t Span, bool Counting,
+                                const faults::RunDeadline *DL,
                                 ShardResult &Result) const {
   const StaticSchedule &S = Prog->schedule();
   int64_t Washout = Prog->shardInfo().WashoutIterations;
@@ -84,8 +86,11 @@ void ParallelExecutor::runShard(int64_t Start, int64_t Span, bool Counting,
     Result.InFedEnd = End;
   }
 
-  if (From > 0)
-    E.seedSteadyState(From);
+  if (From > 0) {
+    Result.St = E.trySeedSteadyState(From);
+    if (!Result.St.isOk())
+      return;
+  }
   if (Warm > 0 || From > 0) {
     // Replayed iterations refresh boundary state; their outputs are
     // discarded below and their ops must not count (a sequential run
@@ -93,7 +98,9 @@ void ParallelExecutor::runShard(int64_t Start, int64_t Span, bool Counting,
     // true stream start takes no warmup at all: its init program must run
     // inside the counted span, exactly like a sequential run's.
     ops::CountingScope Off(false);
-    E.runIterations(Warm);
+    Result.St = E.tryRunIterations(Warm, DL);
+    if (!Result.St.isOk())
+      return;
   }
   size_t OutBoundary = E.externalOutputCount();
   size_t PrintBoundary = E.printed().size();
@@ -101,9 +108,11 @@ void ParallelExecutor::runShard(int64_t Start, int64_t Span, bool Counting,
   OpCounts Before = ops::counts();
   {
     ops::CountingScope Scope(Counting);
-    E.runIterations(Span);
+    Result.St = E.tryRunIterations(Span, DL);
   }
   Result.Ops = ops::counts() - Before;
+  if (!Result.St.isOk())
+    return;
 
   std::vector<double> Out = E.outputSnapshot();
   Result.Out.assign(Out.begin() + static_cast<ptrdiff_t>(OutBoundary),
@@ -114,12 +123,22 @@ void ParallelExecutor::runShard(int64_t Start, int64_t Span, bool Counting,
 }
 
 CompiledExecutor &ParallelExecutor::seqExecutor() {
-  if (!Seq)
+  bool Fresh = !Seq;
+  if (Fresh) {
     Seq = std::make_unique<CompiledExecutor>(Prog);
+    SeqInFed = 0;
+  }
   if (SeqInFed < In.size()) {
     Seq->provideInput(std::vector<double>(
         In.begin() + static_cast<ptrdiff_t>(SeqInFed), In.end()));
     SeqInFed = In.size();
+  }
+  // A fresh executor created after a mid-run failure discarded its
+  // predecessor must catch up (uncounted) to the logical stream
+  // position; it replays work that already ran, so it cannot starve.
+  if (Fresh && IterationsDone > 0) {
+    ops::CountingScope Off(false);
+    Seq->runIterations(IterationsDone);
   }
   return *Seq;
 }
@@ -134,39 +153,108 @@ void ParallelExecutor::spliceSeqOutputs(size_t OutBoundary,
                  P.begin() + static_cast<ptrdiff_t>(PrintBoundary), P.end());
 }
 
-void ParallelExecutor::runSequential(int64_t Iters) {
+Status ParallelExecutor::runSequential(int64_t Iters,
+                                       const faults::RunDeadline *DL) {
   CompiledExecutor &E = seqExecutor();
   size_t OutBoundary = E.externalOutputCount();
   size_t PrintBoundary = E.printed().size();
-  E.runIterations(Iters);
+  if (Status St = E.tryRunIterations(Iters, DL); !St.isOk()) {
+    // Mid-run failure leaves E indeterminate; discard it so the next
+    // call rebuilds (and catches up) a fresh one.
+    Seq.reset();
+    SeqInFed = 0;
+    return St;
+  }
   spliceSeqOutputs(OutBoundary, PrintBoundary);
+  return Status::ok();
 }
 
-void ParallelExecutor::runSequentialByOutputs(size_t NOutputs) {
+Status ParallelExecutor::runSequentialByOutputs(size_t NOutputs,
+                                                const faults::RunDeadline *DL) {
   CompiledExecutor &E = seqExecutor();
   size_t OutBoundary = E.externalOutputCount();
   size_t PrintBoundary = E.printed().size();
-  E.run(NOutputs); // E holds the whole logical stream: same target
+  // E holds the whole logical stream: same target.
+  if (Status St = E.tryRun(NOutputs, DL); !St.isOk()) {
+    Seq.reset();
+    SeqInFed = 0;
+    return St;
+  }
   spliceSeqOutputs(OutBoundary, PrintBoundary);
+  return Status::ok();
+}
+
+/// Sharded fan-out hit a seed anomaly: every shard's partial output has
+/// been discarded and the whole span re-runs on the continuation tail —
+/// or, when none exists, on a fresh executor caught up (uncounted)
+/// through the iterations already done. The sequential re-run fires the
+/// exact firing sequence a single-threaded engine would, so outputs and
+/// FLOP counts stay bit-identical to the clean path.
+Status ParallelExecutor::recoverSpanSequentially(int64_t Iters,
+                                                 const std::string &Why,
+                                                 const faults::RunDeadline *DL) {
+  if (!Tail) {
+    Tail = std::make_unique<CompiledExecutor>(Prog);
+    Tail->provideInput(In);
+    TailInFed = In.size();
+    if (IterationsDone > 0) {
+      ops::CountingScope Off(false);
+      if (Status St = Tail->tryRunIterations(IterationsDone, DL);
+          !St.isOk()) {
+        Tail.reset();
+        return St;
+      }
+    }
+  } else if (TailInFed < In.size()) {
+    Tail->provideInput(std::vector<double>(
+        In.begin() + static_cast<ptrdiff_t>(TailInFed), In.end()));
+    TailInFed = In.size();
+  }
+  size_t OutBoundary = Tail->externalOutputCount();
+  size_t PrintBoundary = Tail->printed().size();
+  if (Status St = Tail->tryRunIterations(Iters, DL); !St.isOk()) {
+    Tail.reset();
+    return St;
+  }
+  std::vector<double> Out = Tail->outputSnapshot();
+  ExtOut.insert(ExtOut.end(), Out.begin() + static_cast<ptrdiff_t>(OutBoundary),
+                Out.end());
+  const std::vector<double> &P = Tail->printed();
+  Printed.insert(Printed.end(),
+                 P.begin() + static_cast<ptrdiff_t>(PrintBoundary), P.end());
+  int64_t SpanIters = Stats.Iterations;
+  Stats = RunStats();
+  Stats.Iterations = SpanIters;
+  Stats.ShardsUsed = 1;
+  Stats.Sequential = true;
+  Stats.FallbackReason = Why;
+  return Status::ok();
 }
 
 void ParallelExecutor::runIterations(int64_t Iters) {
+  if (Status St = tryRunIterations(Iters); !St.isOk())
+    fatalError(St.message());
+}
+
+Status ParallelExecutor::tryRunIterations(int64_t Iters,
+                                          const faults::RunDeadline *DL) {
   Stats = RunStats();
   if (Iters <= 0)
-    return;
+    return Status::ok();
   Stats.Iterations = Iters;
   const StaticSchedule &S = Prog->schedule();
 
   const CompiledProgram::ShardInfo &SI = Prog->shardInfo();
   if (!SI.Shardable) {
     // The persistent executor does its own input bookkeeping.
-    runSequential(Iters);
+    if (Status St = runSequential(Iters, DL); !St.isOk())
+      return St;
     Stats.ShardsUsed = 1;
     Stats.Sequential = true;
     Stats.FallbackReason = SI.Reason;
     IterationsDone += Iters;
     InitDone = true;
-    return;
+    return Status::ok();
   }
 
   // Validate input coverage up front (workers must not hit the engine's
@@ -175,8 +263,9 @@ void ParallelExecutor::runIterations(int64_t Iters) {
                      Iters * S.SteadyExternalPops + externalLookahead(S);
   int64_t Avail = static_cast<int64_t>(In.size()) - consumedInputItems();
   if (Avail < Required)
-    fatalError("parallel run needs " + std::to_string(Required) +
-               " external input items, have " + std::to_string(Avail));
+    return Status(ErrorCode::Deadlock,
+                  "parallel run needs " + std::to_string(Required) +
+                      " external input items, have " + std::to_string(Avail));
 
   // Shards shorter than the washout replay more than they execute; the
   // floor keeps the fan-out worth its warmup.
@@ -200,7 +289,10 @@ void ParallelExecutor::runIterations(int64_t Iters) {
       }
       size_t OutBoundary = Tail->externalOutputCount();
       size_t PrintBoundary = Tail->printed().size();
-      Tail->runIterations(Iters);
+      if (Status St = Tail->tryRunIterations(Iters, DL); !St.isOk()) {
+        Tail.reset(); // indeterminate mid-stream; rebuild on next call
+        return St;
+      }
       std::vector<double> Out = Tail->outputSnapshot();
       ExtOut.insert(ExtOut.end(),
                     Out.begin() + static_cast<ptrdiff_t>(OutBoundary),
@@ -211,7 +303,17 @@ void ParallelExecutor::runIterations(int64_t Iters) {
                      P.end());
     } else {
       ShardResult R;
-      runShard(IterationsDone, Iters, Counting, R);
+      runShard(IterationsDone, Iters, Counting, DL, R);
+      if (!R.St.isOk()) {
+        if (R.St.code() != ErrorCode::ShardAnomaly)
+          return R.St;
+        if (Status St = recoverSpanSequentially(Iters, R.St.str(), DL);
+            !St.isOk())
+          return St;
+        IterationsDone += Iters;
+        InitDone = true;
+        return Status::ok();
+      }
       Stats.WarmupIterations += std::min(SI.WashoutIterations, IterationsDone);
       ExtOut.insert(ExtOut.end(), R.Out.begin(), R.Out.end());
       Printed.insert(Printed.end(), R.Printed.begin(), R.Printed.end());
@@ -221,12 +323,13 @@ void ParallelExecutor::runIterations(int64_t Iters) {
     Stats.ShardsUsed = 1;
     IterationsDone += Iters;
     InitDone = true;
-    return;
+    return Status::ok();
   }
 
-  // Fanning out: any previous tail is superseded (the new last shard
-  // ends at the new IterationsDone and is adopted below).
-  Tail.reset();
+  // Fanning out. Any previous tail will be superseded by the new last
+  // shard (which ends at the new IterationsDone) — but it is kept alive
+  // until the shards succeed, as the cheapest sequential-recovery point
+  // should one of them hit a seed anomaly.
   int64_t Base = Iters / Shards, Rem = Iters % Shards;
   std::vector<ShardResult> Results(static_cast<size_t>(Shards));
   std::vector<std::thread> Threads;
@@ -236,13 +339,29 @@ void ParallelExecutor::runIterations(int64_t Iters) {
     int64_t Span = Base + (I < Rem ? 1 : 0);
     if (I > 0 || Start > 0)
       Stats.WarmupIterations += std::min(SI.WashoutIterations, Start);
-    Threads.emplace_back([this, Start, Span, Counting, &Results, I] {
-      runShard(Start, Span, Counting, Results[static_cast<size_t>(I)]);
+    Threads.emplace_back([this, Start, Span, Counting, DL, &Results, I] {
+      runShard(Start, Span, Counting, DL, Results[static_cast<size_t>(I)]);
     });
     Start += Span;
   }
   for (std::thread &T : Threads)
     T.join();
+
+  for (ShardResult &R : Results) {
+    if (R.St.isOk())
+      continue;
+    // One bad shard poisons the span: later shards' outputs depend on
+    // positions the bad shard was meant to cover, so discard everything
+    // (op deltas were never folded in) and re-run sequentially.
+    if (R.St.code() != ErrorCode::ShardAnomaly)
+      return R.St;
+    if (Status St = recoverSpanSequentially(Iters, R.St.str(), DL);
+        !St.isOk())
+      return St;
+    IterationsDone += Iters;
+    InitDone = true;
+    return Status::ok();
+  }
 
   OpCounts Total;
   for (ShardResult &R : Results) {
@@ -258,12 +377,19 @@ void ParallelExecutor::runIterations(int64_t Iters) {
   Stats.ShardsUsed = Shards;
   IterationsDone += Iters;
   InitDone = true;
+  return Status::ok();
 }
 
 void ParallelExecutor::run(size_t NOutputs) {
+  if (Status St = tryRun(NOutputs); !St.isOk())
+    fatalError(St.message());
+}
+
+Status ParallelExecutor::tryRun(size_t NOutputs,
+                                const faults::RunDeadline *DL) {
   size_t Have = outputsProduced();
   if (Have >= NOutputs)
-    return;
+    return Status::ok();
   const StaticSchedule &S = Prog->schedule();
 
   if (!Prog->shardInfo().Shardable) {
@@ -271,12 +397,13 @@ void ParallelExecutor::run(size_t NOutputs) {
     // identical behavior (including deadlock diagnostics) to a plain
     // CompiledExecutor::run.
     Stats = RunStats();
-    runSequentialByOutputs(NOutputs);
+    if (Status St = runSequentialByOutputs(NOutputs, DL); !St.isOk())
+      return St;
     Stats.ShardsUsed = 1;
     Stats.Sequential = true;
     Stats.FallbackReason = Prog->shardInfo().Reason;
     InitDone = true;
-    return;
+    return Status::ok();
   }
 
   int64_t PerIter = S.SteadyExternalPushes;
@@ -318,17 +445,21 @@ void ParallelExecutor::run(size_t NOutputs) {
                        S.SteadyExternalPops;
       Iters = std::min(Iters, std::max<int64_t>(Budget, 1));
     }
-    runIterations(std::max<int64_t>(Iters, 1));
+    if (Status St = tryRunIterations(std::max<int64_t>(Iters, 1), DL);
+        !St.isOk())
+      return St;
     if (outputsProduced() == Before) {
       if (Iters >= S.BatchIterations)
-        fatalError("stream graph deadlocked: steady state produces no "
-                   "observable output");
+        return Status(ErrorCode::Deadlock,
+                      "stream graph deadlocked: steady state produces no "
+                      "observable output");
       // A short span may legitimately print nothing; escalate to a full
       // batch before declaring deadlock (input-starved runs terminate
       // via runIterations' own diagnostic as the budget drains).
       Floor = S.BatchIterations;
     }
   }
+  return Status::ok();
 }
 
 //===----------------------------------------------------------------------===//

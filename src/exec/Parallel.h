@@ -35,6 +35,8 @@
 
 #include "compiler/Program.h"
 #include "exec/ExecOptions.h"
+#include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "support/OpCounters.h"
 
 #include <condition_variable>
@@ -77,6 +79,21 @@ public:
   /// runIterations over the same span, bit for bit.
   void runIterations(int64_t Iters);
 
+  /// Serving-path front doors behind run()/runIterations(): a deadlock
+  /// (insufficient input) comes back as ErrorCode::Deadlock instead of
+  /// aborting, and an optional \p DL is polled between firing programs
+  /// by every executor this call drives. A shard whose seeding fails
+  /// validation (ErrorCode::ShardAnomaly) is absorbed, not surfaced: the
+  /// fan-out's partial results are discarded and the whole span re-runs
+  /// sequentially — outputs and FLOP counts still bit-identical — with
+  /// lastRunStats() recording Sequential plus the anomaly as
+  /// FallbackReason. Timeout/Cancelled propagate (re-running would only
+  /// take longer); after one, this object's logical stream is
+  /// indeterminate — recover with a fresh executor.
+  Status tryRun(size_t NOutputs, const faults::RunDeadline *DL = nullptr);
+  Status tryRunIterations(int64_t Iters,
+                          const faults::RunDeadline *DL = nullptr);
+
   std::vector<double> outputSnapshot() const { return ExtOut; }
   const std::vector<double> &printed() const { return Printed; }
   size_t outputsProduced() const;
@@ -103,15 +120,21 @@ private:
     /// IterationsDone).
     std::unique_ptr<CompiledExecutor> Exec;
     size_t InFedEnd = 0; ///< global In index fed to Exec so far
+    /// Non-Ok when the shard could not seed or run; its Out/Printed are
+    /// then meaningless and the fan-out must discard every shard.
+    Status St;
   };
 
   int64_t consumedInputItems() const;
   void runShard(int64_t Start, int64_t Span, bool Counting,
-                ShardResult &Result) const;
+                const faults::RunDeadline *DL, ShardResult &Result) const;
   CompiledExecutor &seqExecutor();
   void spliceSeqOutputs(size_t OutBoundary, size_t PrintBoundary);
-  void runSequential(int64_t Iters);
-  void runSequentialByOutputs(size_t NOutputs);
+  Status runSequential(int64_t Iters, const faults::RunDeadline *DL);
+  Status runSequentialByOutputs(size_t NOutputs,
+                                const faults::RunDeadline *DL);
+  Status recoverSpanSequentially(int64_t Iters, const std::string &Why,
+                                 const faults::RunDeadline *DL);
 
   CompiledProgramRef Prog;
   ParallelOptions Opts;

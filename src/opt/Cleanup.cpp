@@ -281,7 +281,7 @@ private:
   bool isDeadBranch(const Stream &Child, int JoinWeight) {
     if (JoinWeight != 0 || hasObservableEffects(Child))
       return false;
-    std::optional<RateSignature> R = tryComputeRates(Child);
+    Expected<RateSignature> R = tryComputeRates(Child);
     return R && R->Push == 0;
   }
 
@@ -435,8 +435,8 @@ std::string slin::verifyStreamRates(const Stream &Root) {
   // The balance solver recurses through every container, so one root
   // query validates all repetition vectors and splitter/joiner
   // consistency checks along the way.
-  if (!tryComputeRates(Root, &Err))
-    return Err;
+  if (Expected<RateSignature> R = tryComputeRates(Root); !R)
+    return R.status().message();
   return "";
 }
 

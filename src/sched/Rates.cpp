@@ -371,42 +371,37 @@ RateSignature ratesOf(const Stream &S, RateErr &E) {
 
 } // namespace
 
-std::vector<int64_t> slin::childRepetitions(const Stream &Container) {
+// The try* forms are the primary implementations; the fatal forms wrap
+// them, so exactly one error-context mechanism (Status) remains between
+// the solver's internal RateErr sink and every caller.
+
+Expected<RateSignature> slin::tryComputeRates(const Stream &S) {
+  RateErr E;
+  RateSignature R = ratesOf(S, E);
+  if (E.failed())
+    return Status(ErrorCode::RateError, E.Msg);
+  return R;
+}
+
+Expected<std::vector<int64_t>>
+slin::tryChildRepetitions(const Stream &Container) {
   RateErr E;
   std::vector<int64_t> R = repsOf(Container, E);
   if (E.failed())
-    fatalError(E.Msg);
+    return Status(ErrorCode::RateError, E.Msg);
   return R;
+}
+
+std::vector<int64_t> slin::childRepetitions(const Stream &Container) {
+  Expected<std::vector<int64_t>> R = tryChildRepetitions(Container);
+  if (!R)
+    fatalError(R.status().message());
+  return R.take();
 }
 
 RateSignature slin::computeRates(const Stream &S) {
-  RateErr E;
-  RateSignature R = ratesOf(S, E);
-  if (E.failed())
-    fatalError(E.Msg);
-  return R;
-}
-
-std::optional<RateSignature> slin::tryComputeRates(const Stream &S,
-                                                   std::string *Err) {
-  RateErr E;
-  RateSignature R = ratesOf(S, E);
-  if (E.failed()) {
-    if (Err)
-      *Err = E.Msg;
-    return std::nullopt;
-  }
-  return R;
-}
-
-std::optional<std::vector<int64_t>>
-slin::tryChildRepetitions(const Stream &Container, std::string *Err) {
-  RateErr E;
-  std::vector<int64_t> R = repsOf(Container, E);
-  if (E.failed()) {
-    if (Err)
-      *Err = E.Msg;
-    return std::nullopt;
-  }
-  return R;
+  Expected<RateSignature> R = tryComputeRates(S);
+  if (!R)
+    fatalError(R.status().message());
+  return R.take();
 }

@@ -13,10 +13,9 @@
 #define SLIN_SCHED_RATES_H
 
 #include "graph/Stream.h"
+#include "support/Error.h"
 
 #include <cstdint>
-#include <optional>
-#include <string>
 #include <vector>
 
 namespace slin {
@@ -41,14 +40,14 @@ RateSignature computeRates(const Stream &S);
 /// A Filter has no children; returns {}.
 std::vector<int64_t> childRepetitions(const Stream &Container);
 
-/// Non-fatal variants for the verifier pass (opt/Cleanup.h): on a graph
-/// without a valid steady state they return nullopt and report the
-/// offending construct in \p Err instead of aborting. Identical results
-/// to the fatal versions on well-formed graphs.
-std::optional<RateSignature> tryComputeRates(const Stream &S,
-                                             std::string *Err = nullptr);
-std::optional<std::vector<int64_t>>
-tryChildRepetitions(const Stream &Container, std::string *Err = nullptr);
+/// Non-fatal variants (the verifier pass in opt/Cleanup.h and every
+/// recoverable pipeline route): on a graph without a valid steady state
+/// they return a Status (ErrorCode::RateError) naming the offending
+/// construct instead of aborting. Identical results to the fatal
+/// versions on well-formed graphs — the fatal versions are thin
+/// wrappers over these.
+Expected<RateSignature> tryComputeRates(const Stream &S);
+Expected<std::vector<int64_t>> tryChildRepetitions(const Stream &Container);
 
 } // namespace slin
 

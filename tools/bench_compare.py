@@ -11,8 +11,12 @@ the first wall-clock field an entry carries, in this preference order:
 
 FLOP/multiplication counts are deterministic and checked by the test
 suite, so only wall-clock fields gate here. New benchmarks and new
-entries pass ungated (they have no baseline yet); a baseline entry
-missing from the current run fails, so coverage cannot silently shrink.
+entries pass ungated, but are *reported* as "NEW (ungated)" rows so a
+reviewer can see what has no baseline yet and refresh it with --update.
+A whole baseline file absent from the current run is reported and
+skipped (partial runs gate what they ran); a baseline entry missing
+from a file the current run DID produce fails, so coverage within a
+benchmark cannot silently shrink.
 
 Usage:
     bench_compare.py BASELINE_DIR CURRENT_DIR [--threshold 0.25]
@@ -100,14 +104,29 @@ def main():
 
     failures = []
     rows = []
+    notes = []
     compared = 0
+    new_entries = 0
     for name in baseline_files:
         current_path = os.path.join(args.current_dir, name)
         if not os.path.exists(current_path):
-            failures.append(f"{name}: missing from the current run")
+            notes.append(
+                f"{name}: not produced by this run (baseline kept; "
+                "entries not gated)"
+            )
             continue
         base_entries = load(os.path.join(args.baseline_dir, name))
         cur_entries = load(current_path)
+        for key in sorted(set(cur_entries) - set(base_entries), key=str):
+            label, engine = key
+            metric, value = headline(cur_entries[key])
+            if metric is None:
+                continue  # counters-only entry: would never gate anyway
+            new_entries += 1
+            rows.append(
+                f"  {name[6:-5]:<24} {label:<28} {engine:<9} {metric:<14}"
+                f"{'--':>14} {value:>14.3f} {'NEW':>8}  (ungated)"
+            )
         for key, base_entry in sorted(base_entries.items(), key=str):
             label, engine = key
             metric, base_value = headline(base_entry)
@@ -139,13 +158,34 @@ def main():
                 f"{base_value:>14.3f} {cur_value:>14.3f} {delta:>+8.1%}{marker}"
             )
 
+    for name in current_files:
+        if name in baseline_files:
+            continue
+        for key, entry in sorted(load(os.path.join(args.current_dir, name)).items(), key=str):
+            label, engine = key
+            metric, value = headline(entry)
+            if metric is None:
+                continue
+            new_entries += 1
+            rows.append(
+                f"  {name[6:-5]:<24} {label:<28} {engine:<9} {metric:<14}"
+                f"{'--':>14} {value:>14.3f} {'NEW':>8}  (ungated)"
+            )
+
     print(
         f"  {'benchmark':<24} {'label':<28} {'engine':<9} {'metric':<14}"
         f"{'baseline':>14} {'current':>14} {'delta':>8}"
     )
     for row in rows:
         print(row)
-    print(f"\ncompared {compared} entries at threshold +{args.threshold:.0%}")
+    summary = f"\ncompared {compared} entries at threshold +{args.threshold:.0%}"
+    if new_entries:
+        summary += (
+            f"; {new_entries} new (ungated — run --update to baseline them)"
+        )
+    print(summary)
+    for note in notes:
+        print(f"note: {note}")
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
         for f in failures:
