@@ -1351,6 +1351,57 @@ ArtifactStore::tryLoad(const Key &K) {
   return Program;
 }
 
+std::string ArtifactStore::objectPathFor(const Key &K,
+                                         uint32_t CodegenVersion) const {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "o-v%u-f%u-g%u-", formatVersion(),
+                buildFlags(), CodegenVersion);
+  return Dir + "/" + Buf + K.Structure.str() + "-" + K.Options.str() + ".so";
+}
+
+Status ArtifactStore::publishObject(const Key &K, uint32_t CodegenVersion,
+                                    const std::string &TmpPath) {
+  std::string Path = objectPathFor(K, CodegenVersion);
+  auto Fail = [&](const std::string &What, int Err) {
+    ::unlink(TmpPath.c_str());
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counters.PublishFailures;
+    }
+    std::string Msg = What;
+    if (Err)
+      Msg += std::string(": ") + std::strerror(Err);
+    return Status(Err == ENOSPC ? ErrorCode::NoSpace : ErrorCode::IoError,
+                  Msg + " (" + TmpPath + ")")
+        .withContext("publish native object");
+  };
+
+  int Fd = ::open(TmpPath.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0)
+    return Fail("open compiled object", errno);
+  int Err = 0;
+  while (::fsync(Fd) != 0) {
+    if (errno != EINTR) {
+      Err = errno;
+      break;
+    }
+  }
+  ::close(Fd);
+  if (Err)
+    return Fail("fsync compiled object", Err);
+
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0)
+    return Fail("rename into place", errno);
+  fsyncDir(Dir);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.ObjectStores;
+  }
+  enforceTtl(Path);
+  enforceQuota(Path);
+  return Status::ok();
+}
+
 bool ArtifactStore::storeAlias(const HashDigest &PipelineKey,
                                const Key &Artifact) {
   Writer Body;

@@ -106,6 +106,22 @@ public:
   /// file that failed validation). The degradation is a clean recompile.
   Expected<std::shared_ptr<const CompiledProgram>> tryLoad(const Key &K);
 
+  /// Final path of the native-code shared object for \p K under codegen
+  /// scheme \p CodegenVersion (codegen/NativeModule.h). The filename
+  /// carries the full key — digests, format version, build flags,
+  /// codegen version — so scheme bumps are plain misses, and the .so
+  /// participates in the same TTL/quota sweeps as program artifacts.
+  std::string objectPathFor(const Key &K, uint32_t CodegenVersion) const;
+
+  /// Atomically publishes the already-compiled object \p TmpPath (a
+  /// `.tmp.<pid>.*`-suffixed file inside dir()) as objectPathFor(...):
+  /// fsync, rename into place, directory fsync, then TTL/quota
+  /// enforcement. On failure \p TmpPath is unlinked. Unlike tryStore
+  /// there is no checksummed header — the dlopen + ABI-version check on
+  /// load is the validation — so corruption degrades to a recompile.
+  Status publishObject(const Key &K, uint32_t CodegenVersion,
+                       const std::string &TmpPath);
+
   /// Publishes a pipeline-key → artifact-key alias record.
   bool storeAlias(const HashDigest &PipelineKey, const Key &Artifact);
 
@@ -123,6 +139,7 @@ public:
     uint64_t TmpSwept = 0;        ///< stale .tmp.* files garbage-collected
     uint64_t Evictions = 0;       ///< files evicted by the size/TTL policy
     uint64_t EvictedBytes = 0;    ///< bytes reclaimed by those evictions
+    uint64_t ObjectStores = 0;    ///< native .so objects published
   };
   Stats stats() const;
   void resetStats();

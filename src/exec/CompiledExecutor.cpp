@@ -3,6 +3,7 @@
 #include "exec/CompiledExecutor.h"
 
 #include "support/Diag.h"
+#include "support/OpCounters.h"
 
 #include <algorithm>
 #include <chrono>
@@ -47,6 +48,24 @@ private:
   size_t OutPos = 0;
   std::vector<double> &Printed;
 };
+
+//===----------------------------------------------------------------------===//
+// Native-module host services
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Print thunk handed to emitted code; Sink is the executor's Printed
+/// vector, so native prints interleave exactly like tape prints.
+void nativePrint(void *Sink, double V) {
+  static_cast<std::vector<double> *>(Sink)->push_back(V);
+}
+
+/// Failure thunk: emitted bounds/rate checks land on the same fatal
+/// ladder (and the same message text) as the op-tape interpreter's.
+void nativeFail(const char *Msg) { fatalError(Msg); }
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Construction
@@ -172,6 +191,13 @@ void CompiledExecutor::fireFilterStep(size_t NodeIdx, int64_t K) {
   const double *In = N.In >= 0 ? readBase(N.In) : nullptr;
   double *Out = N.Out >= 0 && TotalPush ? writePtr(N.Out, TotalPush) : nullptr;
 
+  // Emitted entry points take over only outside counting runs: native
+  // code does no op accounting, so FLOP numbers keep their interpreter
+  // meaning (timing runs never count; see exec/Measure.cpp).
+  const codegen::NodeFns *NF = NativeMod && !ops::isCounting()
+                                   ? &NativeMod->node(NodeIdx)
+                                   : nullptr;
+
   if (S.Native) {
     const double *Ip = In;
     double *Op = Out;
@@ -182,8 +208,15 @@ void CompiledExecutor::fireFilterStep(size_t NodeIdx, int64_t K) {
       Op = Op ? Op + InitPush : nullptr;
     }
     if (SteadyK > 0) {
-      bool Batched = SteadyK > 1 && Ip && Op &&
-                     S.Native->fireBatch(Ip, Op, static_cast<int>(SteadyK));
+      bool Batched = false;
+      if (SteadyK > 1 && Ip && Op) {
+        if (NF && NF->Batch) {
+          NF->Batch(Ip, Op, static_cast<long>(SteadyK));
+          Batched = true;
+        } else {
+          Batched = S.Native->fireBatch(Ip, Op, static_cast<int>(SteadyK));
+        }
+      }
       if (!Batched) {
         for (int64_t I = 0; I != SteadyK; ++I) {
           PtrTape T(Ip, Op, Printed);
@@ -193,6 +226,29 @@ void CompiledExecutor::fireFilterStep(size_t NodeIdx, int64_t K) {
         }
       }
     }
+  } else if (NF && NF->Work) {
+    const double *Ip = In;
+    double *Op = Out;
+    // Fill the frame's field-pointer cache exactly as OpProgram::run
+    // does; emitted code indexes the same vectors through NativeCtx.
+    wir::WorkFrame &Fr = S.Frame;
+    size_t NumFlds = std::min(Fr.FldPtrs.size(), S.Fields.Values.size());
+    for (size_t I = 0; I != NumFlds; ++I) {
+      Fr.FldPtrs[I] = S.Fields.Values[I].data();
+      Fr.FldSizes[I] = static_cast<int32_t>(S.Fields.Values[I].size());
+    }
+    codegen::NativeCtx Ctx{Fr.FldPtrs.data(), Fr.FldSizes.data(), &Printed,
+                           nativePrint, nativeFail};
+    if (InitPending) {
+      if (NF->Init)
+        NF->Init(&Ctx, Ip, Op, 1);
+      else
+        S.InitWork->run(S.Frame, S.Fields, Ip, Op, Printed);
+      Ip = Ip ? Ip + InitPop : nullptr;
+      Op = Op ? Op + InitPush : nullptr;
+    }
+    if (SteadyK > 0)
+      NF->Work(&Ctx, Ip, Op, static_cast<long>(SteadyK));
   } else {
     const double *Ip = In;
     double *Op = Out;

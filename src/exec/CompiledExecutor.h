@@ -29,6 +29,7 @@
 #ifndef SLIN_EXEC_COMPILEDEXECUTOR_H
 #define SLIN_EXEC_COMPILEDEXECUTOR_H
 
+#include "codegen/NativeModule.h"
 #include "compiler/Program.h"
 #include "exec/ExecOptions.h"
 #include "exec/FlatGraph.h"
@@ -60,6 +61,14 @@ public:
 
   /// Instantiates runtime state over a shared artifact.
   explicit CompiledExecutor(CompiledProgramRef Program);
+
+  /// Same, with a native module pre-attached (the Engine::Native serving
+  /// path; null \p Native is the plain op-tape executor).
+  CompiledExecutor(CompiledProgramRef Program, codegen::NativeModuleRef Native)
+      : CompiledExecutor(std::move(Program)) {
+    NativeMod = std::move(Native);
+  }
+
   ~CompiledExecutor();
 
   CompiledExecutor(const CompiledExecutor &) = delete;
@@ -131,6 +140,18 @@ public:
   /// The shared artifact this instance runs.
   const CompiledProgram &program() const { return *Prog; }
 
+  /// Attaches a dlopen'd native module (codegen/NativeModule.h): filters
+  /// with an emitted entry point then run machine code instead of the
+  /// op-tape dispatch loop (bit-identical by construction). Counting
+  /// runs still take the tapes — emitted code does no accounting, and
+  /// FLOP numbers must keep their interpreter meaning. Null detaches.
+  void attachNativeModule(codegen::NativeModuleRef M) {
+    NativeMod = std::move(M);
+  }
+
+  /// The attached native module (null when running pure op tapes).
+  const codegen::NativeModuleRef &nativeModule() const { return NativeMod; }
+
 private:
   /// A flat channel buffer; live items occupy [Head, Tail). Compacted
   /// (live items moved to the front) after every program run, so within
@@ -165,6 +186,7 @@ private:
   void compact();
 
   CompiledProgramRef Prog;
+  codegen::NativeModuleRef NativeMod; ///< null: op-tape dispatch only
   const flat::FlatGraph &Graph; ///< = Prog->graph()
   const StaticSchedule &Sched;  ///< = Prog->schedule()
   std::vector<ChannelBuf> Channels; ///< indexed by channel; external unused

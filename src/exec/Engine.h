@@ -20,7 +20,8 @@ namespace slin {
 enum class Engine {
   Dynamic,  ///< exec/Executor.h
   Compiled, ///< exec/CompiledExecutor.h
-  Parallel  ///< exec/Parallel.h (sharded runs over a CompiledProgram)
+  Parallel, ///< exec/Parallel.h (sharded runs over a CompiledProgram)
+  Native    ///< codegen/NativeModule.h (emitted C++, dlopen'd per program)
 };
 
 inline const char *engineName(Engine E) {
@@ -31,6 +32,8 @@ inline const char *engineName(Engine E) {
     return "compiled";
   case Engine::Parallel:
     return "parallel";
+  case Engine::Native:
+    return "native";
   }
   return "unknown";
 }

@@ -66,8 +66,16 @@ Measurement slin::measureSteadyState(const Stream &Root,
       return measureWith<ParallelExecutor>(Opts, [&] {
         return ParallelExecutor(P, Opts.Exec.Compiled.Parallel);
       });
-    return measureWith<CompiledExecutor>(Opts,
-                                         [&] { return CompiledExecutor(P); });
+    if (Opts.Exec.Eng == Engine::Native) {
+      // The module attaches to both runs; counting-gated dispatch keeps
+      // the counting run on the op tapes (real FLOPs) while the timing
+      // run executes emitted code. Null (degraded) is the Compiled path.
+      codegen::NativeModuleRef M = codegen::NativeModuleCache::global().get(*P);
+      return measureWith<CompiledExecutor>(
+          Opts, [&] { return CompiledExecutor(P, M); });
+    }
+    return measureWith<CompiledExecutor>(
+        Opts, [&] { return CompiledExecutor(P, nullptr); });
   }
   return measureWith<Executor>(
       Opts, [&] { return Executor(Root, Opts.Exec.Dynamic); });
@@ -89,6 +97,12 @@ std::vector<double> slin::collectOutputs(const Stream &Root, size_t NOutputs,
   }
   if (Eng == Engine::Compiled) {
     CompiledExecutor E(ProgramCache::global().get(Root, CompiledOptions()));
+    E.run(NOutputs);
+    return Finish(E.printed(), E.outputSnapshot());
+  }
+  if (Eng == Engine::Native) {
+    CompiledProgramRef P = ProgramCache::global().get(Root, CompiledOptions());
+    CompiledExecutor E(P, codegen::NativeModuleCache::global().get(*P));
     E.run(NOutputs);
     return Finish(E.printed(), E.outputSnapshot());
   }

@@ -112,6 +112,23 @@ public:
   /// per-firing Tape execution); the default supports nothing.
   virtual bool fireBatch(const double *In, double *Out, int K);
 
+  /// Optional native-codegen hook (codegen/CxxBackend.h): appends to
+  /// \p Src the definition of an extern "C" function \p Fn with the
+  /// fireBatch memory contract —
+  ///
+  ///     void <Fn>(const double *In, double *Out, long K);
+  ///
+  /// — that is bit-identical to fireBatch over the same windows. The
+  /// emitted code must be fully self-contained (coefficients baked in as
+  /// exact literals; no references back into this process). Returns
+  /// false when unsupported (the default): the compiled engine then
+  /// keeps calling the in-process fireBatch/fire paths for this filter.
+  virtual bool emitBatchCxx(std::string &Src, const std::string &Fn) const {
+    (void)Src;
+    (void)Fn;
+    return false;
+  }
+
   /// Fresh-state copy.
   virtual std::unique_ptr<NativeFilter> clone() const = 0;
 

@@ -4,9 +4,11 @@
 
 #include "support/OpCounters.h"
 #include "support/Serialize.h"
+#include "wir/CxxEmit.h"
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 using namespace slin;
 
@@ -153,6 +155,93 @@ void PackedLinearKernel::applyBatched(const double *In, double *Out, int K,
   }
 #endif
   batchedImpl<false>(In, Out, K, PopStride);
+}
+
+void PackedLinearKernel::emitBatchedCxx(std::string &Src,
+                                        const std::string &Fn,
+                                        int PopStride) const {
+  const int U = static_cast<int>(Columns.size());
+  auto N = [](long V) { return std::to_string(V); };
+
+  // Band data as static tables: one flat coefficient pool plus
+  // per-column {first row, band length, pool offset, constant offset}.
+  std::string T;
+  T += "extern \"C\" void " + Fn + "(const double *In, double *Out, "
+       "long K) {\n";
+  T += "  static const double Coefs[] = {";
+  size_t Pool = 0;
+  for (const Column &Col : Columns)
+    for (double C : Col.Coeffs) {
+      T += (Pool++ ? ", " : " ") + wir::cxxDoubleLiteral(C);
+    }
+  if (!Pool)
+    T += " 0.0"; // empty bands: keep the array well-formed (never read)
+  T += " };\n";
+  auto Table = [&](const char *Ty, const char *Name, auto Get) {
+    T += std::string("  static const ") + Ty + " " + Name + "[] = {";
+    for (int J = 0; J != U; ++J)
+      T += (J ? ", " : " ") + Get(Columns[static_cast<size_t>(J)]);
+    T += " };\n";
+  };
+  size_t Off = 0;
+  Table("int", "First", [&](const Column &C) { return N(C.First); });
+  Table("int", "BandN",
+        [&](const Column &C) { return N(static_cast<long>(C.Coeffs.size())); });
+  Table("int", "CoefOff", [&](const Column &C) {
+    size_t This = Off;
+    Off += C.Coeffs.size();
+    return N(static_cast<long>(This));
+  });
+  Table("double", "Offset",
+        [&](const Column &C) { return wir::cxxDoubleLiteral(C.Offset); });
+
+  // The batchedImpl<false> loop verbatim: 32-firing cache blocks, a
+  // 4-wide register tile (SLP-vectorizable: the four accumulators are
+  // independent, each preserving applyBanded's accumulation order), and
+  // a per-window remainder loop.
+  T += "  for (long K0 = 0; K0 < K; K0 += 32) {\n"
+       "    long KB = K - K0 < 32 ? K - K0 : 32;\n"
+       "    for (int J = 0; J != " + N(U) + "; ++J) {\n"
+       "      const double *Coef = Coefs + CoefOff[J];\n"
+       "      const int Nb = BandN[J];\n"
+       "      const double *Base = In + First[J];\n"
+       "      const double Co = Offset[J];\n"
+       "      long KI = 0;\n"
+       "      for (; KI + 4 <= KB; KI += 4) {\n"
+       "        long G = K0 + KI;\n";
+  for (int W = 0; W != 4; ++W)
+    T += "        const double *W" + N(W) + " = Base + (unsigned long)(G + " +
+         N(W) + ") * " + N(PopStride) + ";\n";
+  T += "        double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;\n"
+       "        for (int I = 0; I != Nb; ++I) {\n"
+       "          double C = Coef[I];\n"
+       "          S0 = S0 + C * W0[I];\n"
+       "          S1 = S1 + C * W1[I];\n"
+       "          S2 = S2 + C * W2[I];\n"
+       "          S3 = S3 + C * W3[I];\n"
+       "        }\n"
+       "        if (Co != 0.0) {\n"
+       "          S0 = S0 + Co; S1 = S1 + Co; S2 = S2 + Co; S3 = S3 + Co;\n"
+       "        }\n";
+  for (int W = 0; W != 4; ++W)
+    T += "        Out[(unsigned long)(G + " + N(W) + ") * " + N(U) +
+         " + J] = S" + N(W) + ";\n";
+  T += "      }\n"
+       "      for (; KI != KB; ++KI) {\n"
+       "        long G = K0 + KI;\n"
+       "        const double *W = Base + (unsigned long)G * " +
+       N(PopStride) + ";\n"
+       "        double Sum = 0.0;\n"
+       "        for (int I = 0; I != Nb; ++I)\n"
+       "          Sum = Sum + Coef[I] * W[I];\n"
+       "        if (Co != 0.0)\n"
+       "          Sum = Sum + Co;\n"
+       "        Out[(unsigned long)G * " + N(U) + " + J] = Sum;\n"
+       "      }\n"
+       "    }\n"
+       "  }\n"
+       "}\n";
+  Src += T;
 }
 
 size_t PackedLinearKernel::bandedMultiplyCount() const {

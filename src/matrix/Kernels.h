@@ -81,6 +81,17 @@ public:
   /// Total multiplies performed by one banded application.
   size_t bandedMultiplyCount() const;
 
+  /// Native-codegen twin of applyBatched (codegen/CxxBackend.h): appends
+  /// to \p Src an extern "C" function \p Fn(const double *In, double
+  /// *Out, long K) replicating the uncounted batched loop exactly — same
+  /// cache blocking, register tiling and per-firing accumulation order,
+  /// bands and offsets baked in as exact literals — over peek windows at
+  /// stride \p PopStride. Bit-identical to applyBatched with counting
+  /// off (the generated TU is built with -ffp-contract=off, so `acc +
+  /// c*w` rounds identically on both sides).
+  void emitBatchedCxx(std::string &Src, const std::string &Fn,
+                      int PopStride) const;
+
   /// Persists the packed form bit-exactly (support/Serialize.h): loaded
   /// kernels run the same bands in the same order as freshly packed ones.
   void serialize(serial::Writer &W) const;

@@ -229,6 +229,11 @@ public:
     return true;
   }
 
+  bool emitBatchCxx(std::string &Src, const std::string &Fn) const override {
+    Kernel.emitBatchedCxx(Src, Fn, O);
+    return true;
+  }
+
   std::unique_ptr<NativeFilter> clone() const override {
     return std::make_unique<PackedLinearFilter>(*this);
   }

@@ -66,6 +66,10 @@ const char *slin::faults::pointName(Point P) {
     return "shard-seed-corrupt";
   case Point::ExecHang:
     return "exec-hang";
+  case Point::CodegenCcFail:
+    return "codegen-cc-fail";
+  case Point::CodegenDlopenFail:
+    return "codegen-dlopen-fail";
   case Point::NumPoints:
     break;
   }

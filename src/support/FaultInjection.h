@@ -49,6 +49,8 @@ enum class Point : int {
   PassVerifierTrip,   ///< pass-verifier-trip: rate verifier reports failure
   ShardSeedCorrupt,   ///< shard-seed-corrupt: shard-boundary seeding anomaly
   ExecHang,           ///< exec-hang: run loop stalls until its deadline
+  CodegenCcFail,      ///< codegen-cc-fail: native-code compiler invocation fails
+  CodegenDlopenFail,  ///< codegen-dlopen-fail: loading the built .so fails
   NumPoints
 };
 

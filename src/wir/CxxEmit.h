@@ -1,0 +1,55 @@
+//===- wir/CxxEmit.h - Op tape to C++ lowering ------------------*- C++ -*-===//
+///
+/// \file
+/// Lowers a compiled op tape (wir/OpTape.h) to a self-contained C++
+/// function definition for the native codegen backend
+/// (codegen/CxxBackend.h). The emitted function executes K consecutive
+/// firings against raw channel memory with the exact semantics of
+/// OpProgram::runImpl's ops-free path: evaluation order, index rounding
+/// (lround vs. the proven-integral cast), bounds checks with the same
+/// diagnostic strings, the Halt rate check, and per-firing register /
+/// local-array zeroing all match, so a native run is bit-identical to the
+/// op-tape interpreter (the generated TU is compiled with
+/// -ffp-contract=off, so no FMA contraction can change rounding).
+///
+/// Emitted signature (extern "C"; the NativeCtx ABI is defined in
+/// codegen/NativeModule.h and replicated in the generated TU's preamble):
+///
+///     void <Fn>(const SlinNativeCtx *Ctx, const double *In,
+///               double *Out, long K);
+///
+/// Firing k's peek window starts at In + k*popRate(); its pushRate()
+/// outputs go to Out + k*pushRate() — the layout CompiledExecutor's
+/// flat channel buffers already provide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_WIR_CXXEMIT_H
+#define SLIN_WIR_CXXEMIT_H
+
+#include "wir/OpTape.h"
+
+#include <string>
+
+namespace slin {
+namespace wir {
+
+/// Exact C++ source literal for \p V: hexfloat for finite values (parsed
+/// back bit-identically by any conforming compiler), bit-pattern
+/// reconstruction for NaN/Inf. Shared by the tape emitter and the kernel
+/// batch emitters (matrix/Kernels.cpp).
+std::string cxxDoubleLiteral(double V);
+
+/// Appends the definition of the K-firing function \p Fn for \p P to
+/// \p Src. Returns false (leaving \p Src untouched) when the tape is
+/// empty — callers then keep the interpreter for that filter.
+class CxxTapeEmitter {
+public:
+  static bool emit(const OpProgram &P, const std::string &Fn,
+                   std::string &Src);
+};
+
+} // namespace wir
+} // namespace slin
+
+#endif // SLIN_WIR_CXXEMIT_H

@@ -201,6 +201,10 @@ private:
   int PeekRate = 0, PopRate = 0, PushRate = 0;
 
   friend class OpTapeCompiler;
+  /// Tape → C++ lowering (wir/CxxEmit.h) reads the full private layout:
+  /// emitted code must replicate frame metadata (register/array sizing,
+  /// bounds-diagnostic names) exactly, not just the instruction list.
+  friend class CxxTapeEmitter;
 };
 
 } // namespace wir

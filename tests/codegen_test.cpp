@@ -1,0 +1,493 @@
+//===- tests/codegen_test.cpp - Native codegen engine tests ---------------==//
+//
+// The emitted-C++ native engine (src/codegen/ + wir/CxxEmit.h): hexfloat
+// literal round trips, bit-identity of emitted tape code and emitted
+// linear batch kernels against the op-tape interpreter, the warm-restart
+// path (a stored .so dlopens with zero compiler passes and zero codegen),
+// the SLIN_NO_CACHE disk-tier bypass, clean degradation without a
+// toolchain (SLIN_CXX=/nonexistent) and under SLIN_NO_NATIVE, the
+// pipeline's native-codegen pass bookkeeping, and FLOP-count preservation
+// (counting runs fall back to the tapes, so Engine::Native reports the
+// interpreter's numbers).
+//
+// Every native compile here shells out to the real toolchain; tests that
+// need one GTEST_SKIP when discoverCompiler() finds none.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CxxBackend.h"
+#include "codegen/NativeModule.h"
+#include "compiler/ArtifactStore.h"
+#include "compiler/Pipeline.h"
+#include "compiler/Program.h"
+#include "exec/CompiledExecutor.h"
+#include "exec/Measure.h"
+#include "support/OpCounters.h"
+#include "wir/CxxEmit.h"
+#include "TestGraphs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace slin;
+using namespace slin::testing_helpers;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// Scoped environment override; restores the previous value (or absence).
+class EnvGuard {
+public:
+  EnvGuard(const char *Name, const char *Value) : Name(Name) {
+    if (const char *Old = std::getenv(Name)) {
+      Saved = Old;
+      Had = true;
+    }
+    if (Value)
+      ::setenv(Name, Value, 1);
+    else
+      ::unsetenv(Name);
+  }
+  ~EnvGuard() {
+    if (Had)
+      ::setenv(Name.c_str(), Saved.c_str(), 1);
+    else
+      ::unsetenv(Name.c_str());
+  }
+
+private:
+  std::string Name;
+  std::string Saved;
+  bool Had = false;
+};
+
+/// Clears the process-global native-module cache (modules AND negative
+/// entries AND stats) on entry and exit, so no test sees a neighbour's
+/// memoization.
+struct NativeGuard {
+  NativeGuard() {
+    codegen::NativeModuleCache::global().clear();
+    codegen::NativeModuleCache::global().resetStats();
+  }
+  ~NativeGuard() {
+    codegen::NativeModuleCache::global().clear();
+    codegen::NativeModuleCache::global().resetStats();
+  }
+};
+
+/// A scoped artifact directory for the process-global store.
+class StoreGuard {
+public:
+  StoreGuard() {
+    Dir = (std::filesystem::temp_directory_path() /
+           ("slin-codegen-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(Counter++)))
+              .string();
+    ArtifactStore::setGlobalDir(Dir);
+    ProgramCache::global().clear();
+    ProgramCache::global().resetStats();
+  }
+  ~StoreGuard() {
+    ArtifactStore::setGlobalDir("");
+    ProgramCache::global().clear();
+    ProgramCache::global().resetStats();
+    std::error_code EC;
+    std::filesystem::remove_all(Dir, EC);
+  }
+
+  const std::string &dir() const { return Dir; }
+
+  /// Published native objects ("o-*.so", final names only).
+  size_t objectCount() const {
+    size_t N = 0;
+    for (auto It = std::filesystem::directory_iterator(Dir);
+         It != std::filesystem::directory_iterator(); ++It) {
+      std::string F = It->path().filename().string();
+      if (F.rfind("o-", 0) == 0 && F.find(".tmp.") == std::string::npos)
+        ++N;
+    }
+    return N;
+  }
+
+private:
+  static int Counter;
+  std::string Dir;
+};
+
+int StoreGuard::Counter = 0;
+
+StreamPtr firSourcePipeline(std::vector<double> Taps,
+                            const std::string &Name = "fir") {
+  auto P = std::make_unique<Pipeline>(Name);
+  P->add(makeCountingSource());
+  P->add(makeFIR(std::move(Taps)));
+  P->add(makePrinterSink());
+  return P;
+}
+
+/// A pipeline that exercises the tape emitter's full surface: field
+/// state (the counting source), peeks (FIR), an intrinsic call, and
+/// init work that peeks beyond what it pops.
+StreamPtr tapeZooPipeline() {
+  using namespace slin::wir;
+  using namespace slin::wir::build;
+  auto P = std::make_unique<Pipeline>("zoo");
+  P->add(makeCountingSource());
+  P->add(makeFIR({1.5, -2.25, 1.0 / 3.0, 0.5, -0.125, 7.0, 11.0, -13.0}));
+  P->add(std::make_unique<Filter>(
+      "sinmod", std::vector<FieldDef>{},
+      WorkFunction(1, 1, 1, stmts(push(mul(sinE(pop()), cst(0.25)))))));
+  {
+    auto F = std::make_unique<Filter>(
+        "initf", std::vector<FieldDef>{},
+        WorkFunction(2, 1, 1, stmts(push(add(peek(0), peek(1))), popStmt())));
+    F->setInitWork(WorkFunction(
+        5, 3, 2, stmts(push(add(pop(), peek(3))), push(add(pop(), pop())))));
+    P->add(std::move(F));
+  }
+  P->add(makePrinterSink());
+  return P;
+}
+
+CompiledProgramRef makeProgram(const Stream &Root,
+                               CompiledOptions Opts = CompiledOptions()) {
+  return std::make_shared<const CompiledProgram>(Root, Opts);
+}
+
+/// First N outputs of a fresh executor, with \p M attached (null: tapes).
+std::vector<double> runWith(const CompiledProgramRef &P,
+                            codegen::NativeModuleRef M, size_t N) {
+  CompiledExecutor E(P, std::move(M));
+  E.run(N);
+  std::vector<double> Out =
+      E.printed().empty() ? E.outputSnapshot() : E.printed();
+  if (Out.size() > N)
+    Out.resize(N);
+  return Out;
+}
+
+/// True when the discovered compiler both exists and runs: the CI
+/// no-toolchain arm points SLIN_CXX at a nonexistent path, which
+/// discoverCompiler() returns verbatim — tests that need a *working*
+/// toolchain must probe it, not just name it. Deliberately unmemoized
+/// (tests flip SLIN_CXX around it).
+bool haveToolchain() {
+  std::string Cxx = codegen::discoverCompiler();
+  if (Cxx.empty())
+    return false;
+  std::string Cmd = "'" + Cxx + "' --version >/dev/null 2>&1";
+  int Rc = std::system(Cmd.c_str());
+  return Rc != -1 && WIFEXITED(Rc) && WEXITSTATUS(Rc) == 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Literal emission
+//===----------------------------------------------------------------------===//
+
+TEST(CxxEmit, DoubleLiteralRoundTripsBitExactly) {
+  // Hexfloat literals parse back to the same bits — the property the
+  // whole bit-identity contract rests on for embedded constants.
+  const double Values[] = {0.0,
+                           1.0,
+                           -1.0,
+                           1.0 / 3.0,
+                           0.1,
+                           -2.5e-7,
+                           3.141592653589793,
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::min(),
+                           std::numeric_limits<double>::denorm_min(),
+                           -4.9406564584124654e-324};
+  for (double V : Values) {
+    std::string L = wir::cxxDoubleLiteral(V);
+    double Back = std::strtod(L.c_str(), nullptr);
+    EXPECT_EQ(0, std::memcmp(&V, &Back, sizeof(double)))
+        << "literal " << L << " for " << V;
+  }
+  // Negative zero keeps its sign bit.
+  double NZ = -0.0;
+  double Back = std::strtod(wir::cxxDoubleLiteral(NZ).c_str(), nullptr);
+  EXPECT_TRUE(std::signbit(Back));
+  // Non-finite values route through the bit-pattern helper (strtod
+  // cannot express them portably).
+  EXPECT_EQ(wir::cxxDoubleLiteral(std::nan("")).rfind("slin_bits_(", 0), 0u);
+  EXPECT_EQ(wir::cxxDoubleLiteral(std::numeric_limits<double>::infinity())
+                .rfind("slin_bits_(", 0),
+            0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Toolchain discovery
+//===----------------------------------------------------------------------===//
+
+TEST(NativeCodegen, SlinCxxOverridesDiscoveryVerbatim) {
+  EnvGuard CXX("SLIN_CXX", "/nonexistent/slin-test-cxx");
+  // Verbatim, no probing: the CI no-toolchain arm depends on a missing
+  // path surfacing at compile time, not being silently skipped.
+  EXPECT_EQ(codegen::discoverCompiler(), "/nonexistent/slin-test-cxx");
+}
+
+//===----------------------------------------------------------------------===//
+// Bit-identity
+//===----------------------------------------------------------------------===//
+
+TEST(NativeCodegen, EmittedTapesBitIdenticalToInterpreter) {
+  if (!haveToolchain())
+    GTEST_SKIP() << "no C++ toolchain available";
+  NativeGuard NG;
+  StreamPtr Root = tapeZooPipeline();
+  CompiledProgramRef P = makeProgram(*Root);
+
+  std::string Reason;
+  codegen::NativeModuleRef M =
+      codegen::NativeModuleCache::global().get(*P, &Reason);
+  ASSERT_NE(M, nullptr) << Reason;
+  EXPECT_TRUE(M->hasAnyFn());
+
+  // 257 outputs: covers init firings, whole batches and a remainder.
+  auto Tapes = runWith(P, nullptr, 257);
+  auto Native = runWith(P, M, 257);
+  EXPECT_EQ(Tapes, Native); // EXPECT_EQ on doubles: bit-identical
+}
+
+TEST(NativeCodegen, EmittedLinearKernelBitIdenticalToHostKernel) {
+  if (!haveToolchain())
+    GTEST_SKIP() << "no C++ toolchain available";
+  NativeGuard NG;
+  // Linear replacement collapses the FIR into a PackedLinearFilter whose
+  // batch kernel the backend re-emits as C++ (Kernels.cpp
+  // emitBatchedCxx); outputs must match the host kernel bit-for-bit.
+  StreamPtr Root = firSourcePipeline(
+      {0.25, -1.5, 1.0 / 7.0, 3.25, -0.875, 2.0 / 3.0, 5.5, -1.0 / 9.0});
+  PipelineOptions PO;
+  PO.Mode = OptMode::Linear;
+  PO.Exec.Eng = Engine::Native;
+  PO.UseProgramCache = false;
+  CompileResult R = compileStream(*Root, PO);
+  ASSERT_NE(R.Program, nullptr);
+  EXPECT_FALSE(R.Degraded) << R.DegradeReason;
+
+  codegen::NativeModuleRef M =
+      codegen::NativeModuleCache::global().get(*R.Program);
+  ASSERT_NE(M, nullptr);
+  auto Host = runWith(R.Program, nullptr, 200);
+  auto Native = runWith(R.Program, M, 200);
+  EXPECT_EQ(Host, Native);
+}
+
+//===----------------------------------------------------------------------===//
+// FLOP accounting under Engine::Native
+//===----------------------------------------------------------------------===//
+
+TEST(NativeCodegen, CountingRunsFallBackToTapesSoFlopsMatchCompiled) {
+  NativeGuard NG;
+  // Emitted code does no op accounting; the executor's dispatch is
+  // counting-gated, so a counting run under Engine::Native executes the
+  // tapes and reports exactly the compiled engine's FLOP numbers.
+  StreamPtr Root = firSourcePipeline({1, 2, 3, 4, 5, 6, 7, 8});
+  MeasureOptions MO;
+  MO.WarmupOutputs = 32;
+  MO.MeasureOutputs = 128;
+  MO.MeasureTime = false;
+  MO.Exec.Eng = Engine::Compiled;
+  Measurement Comp = measureSteadyState(*Root, MO);
+  MO.Exec.Eng = Engine::Native;
+  Measurement Nat = measureSteadyState(*Root, MO);
+  EXPECT_EQ(Comp.Outputs, Nat.Outputs);
+  EXPECT_EQ(Comp.flopsPerOutput(), Nat.flopsPerOutput());
+  EXPECT_EQ(Comp.multsPerOutput(), Nat.multsPerOutput());
+}
+
+//===----------------------------------------------------------------------===//
+// Warm restart: the stored .so is the whole load path
+//===----------------------------------------------------------------------===//
+
+TEST(NativeCodegen, WarmRestartServesObjectWithZeroPassesAndZeroCodegen) {
+  if (!haveToolchain())
+    GTEST_SKIP() << "no C++ toolchain available";
+  StoreGuard SG;
+  NativeGuard NG;
+  StreamPtr Root = firSourcePipeline({2.0, -0.5, 1.25, 0.75, -3.5});
+  PipelineOptions PO;
+  PO.Mode = OptMode::Linear;
+  PO.Exec.Eng = Engine::Native;
+
+  // Cold: full pipeline + emit + compile + publish.
+  CompileResult R1 = compileStream(*Root, PO);
+  ASSERT_NE(R1.Program, nullptr);
+  EXPECT_FALSE(R1.Degraded) << R1.DegradeReason;
+  {
+    auto S = codegen::NativeModuleCache::global().stats();
+    EXPECT_EQ(S.Compiles, 1u);
+    EXPECT_EQ(S.DiskHits, 0u);
+  }
+  EXPECT_EQ(SG.objectCount(), 1u);
+  auto Cold =
+      runWith(R1.Program, codegen::NativeModuleCache::global().get(*R1.Program),
+              150);
+
+  // Simulated process restart: drop every in-memory cache; only the
+  // store directory survives.
+  ProgramCache::global().clear();
+  ProgramCache::global().resetStats();
+  codegen::NativeModuleCache::global().clear();
+  codegen::NativeModuleCache::global().resetStats();
+
+  CompileResult R2 = compileStream(*Root, PO);
+  ASSERT_NE(R2.Program, nullptr);
+  EXPECT_TRUE(R2.ProgramCacheHit);
+  EXPECT_TRUE(R2.Program->loadedFromArtifact());
+  // Zero compiler passes: the alias fast path replaces them all with one
+  // artifact load, plus the native-codegen resolution step.
+  for (const PassInfo &P : R2.Passes)
+    EXPECT_TRUE(P.Name == "artifact-load" || P.Name == "native-codegen")
+        << "unexpected pass on the warm path: " << P.Name;
+  // Zero codegen: the module came from the disk tier, no compile ran.
+  {
+    auto S = codegen::NativeModuleCache::global().stats();
+    EXPECT_EQ(S.DiskHits, 1u);
+    EXPECT_EQ(S.Compiles, 0u);
+    EXPECT_EQ(S.CompileFailures, 0u);
+  }
+  auto Warm =
+      runWith(R2.Program, codegen::NativeModuleCache::global().get(*R2.Program),
+              150);
+  EXPECT_EQ(Cold, Warm);
+}
+
+//===----------------------------------------------------------------------===//
+// SLIN_NO_CACHE bypasses the native disk tier too
+//===----------------------------------------------------------------------===//
+
+TEST(NativeCodegen, NoCacheEnvBypassesNativeObjectDiskTier) {
+  if (!haveToolchain())
+    GTEST_SKIP() << "no C++ toolchain available";
+  StoreGuard SG;
+  NativeGuard NG;
+  codegen::NativeModuleCache &C = codegen::NativeModuleCache::global();
+  StreamPtr Root = firSourcePipeline({4.0, -2.0, 1.0});
+  CompiledProgramRef P = makeProgram(*Root);
+
+  {
+    EnvGuard NC("SLIN_NO_CACHE", "1");
+    codegen::NativeModuleRef M = C.get(*P);
+    ASSERT_NE(M, nullptr);
+    // Built, but never published: the disk tier is bypassed on write...
+    EXPECT_EQ(C.stats().Compiles, 1u);
+    EXPECT_EQ(SG.objectCount(), 0u);
+    // ...while in-process memoization stays on.
+    EXPECT_EQ(C.get(*P).get(), M.get());
+    EXPECT_EQ(C.stats().MemHits, 1u);
+    EXPECT_EQ(C.stats().Compiles, 1u);
+  }
+
+  // Cache re-enabled: a fresh build publishes the object...
+  C.clear();
+  C.resetStats();
+  ASSERT_NE(C.get(*P), nullptr);
+  EXPECT_EQ(C.stats().Compiles, 1u);
+  EXPECT_EQ(SG.objectCount(), 1u);
+
+  // ...and SLIN_NO_CACHE also bypasses it on *read*: a cold cache under
+  // the env compiles again instead of dlopening the stored object.
+  {
+    EnvGuard NC("SLIN_NO_CACHE", "1");
+    C.clear();
+    C.resetStats();
+    ASSERT_NE(C.get(*P), nullptr);
+    EXPECT_EQ(C.stats().DiskHits, 0u);
+    EXPECT_EQ(C.stats().Compiles, 1u);
+  }
+
+  // Control: without the env the same cold cache disk-hits.
+  C.clear();
+  C.resetStats();
+  ASSERT_NE(C.get(*P), nullptr);
+  EXPECT_EQ(C.stats().DiskHits, 1u);
+  EXPECT_EQ(C.stats().Compiles, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Degradation
+//===----------------------------------------------------------------------===//
+
+TEST(NativeCodegen, MissingToolchainDegradesCleanlyAndNegativelyCaches) {
+  NativeGuard NG;
+  EnvGuard CXX("SLIN_CXX", "/nonexistent/slin-test-cxx");
+  codegen::NativeModuleCache &C = codegen::NativeModuleCache::global();
+  StreamPtr Root = firSourcePipeline({1.0, -1.0, 2.0});
+  CompiledProgramRef P = makeProgram(*Root);
+
+  std::string Reason;
+  EXPECT_EQ(C.get(*P, &Reason), nullptr);
+  EXPECT_FALSE(Reason.empty());
+  EXPECT_EQ(C.stats().CompileFailures, 1u);
+  EXPECT_GE(C.stats().Degrades, 1u);
+
+  // Negatively cached: the dead toolchain is probed once per program,
+  // not once per run.
+  Reason.clear();
+  EXPECT_EQ(C.get(*P, &Reason), nullptr);
+  EXPECT_FALSE(Reason.empty());
+  EXPECT_EQ(C.stats().Compiles, 1u);
+  EXPECT_EQ(C.stats().MemHits, 1u);
+
+  // The engine still answers — on the op tapes, bit-identically.
+  auto Degraded = collectOutputs(*Root, 96, Engine::Native);
+  auto Reference = collectOutputs(*Root, 96, Engine::Compiled);
+  EXPECT_EQ(Degraded, Reference);
+}
+
+TEST(NativeCodegen, SlinNoNativeDisablesCodegenOutright) {
+  NativeGuard NG;
+  EnvGuard Off("SLIN_NO_NATIVE", "1");
+  codegen::NativeModuleCache &C = codegen::NativeModuleCache::global();
+  StreamPtr Root = firSourcePipeline({1.0, 2.0});
+  CompiledProgramRef P = makeProgram(*Root);
+
+  std::string Reason;
+  EXPECT_EQ(C.get(*P, &Reason), nullptr);
+  EXPECT_NE(Reason.find("SLIN_NO_NATIVE"), std::string::npos);
+  // Disabled before any work: no compile, no disk probe, no negative
+  // cache entry (flipping the env back re-enables immediately).
+  EXPECT_EQ(C.stats().Compiles, 0u);
+  EXPECT_EQ(C.stats().Misses, 0u);
+}
+
+TEST(NativeCodegen, PipelineRecordsNativeCodegenPass) {
+  NativeGuard NG;
+  StreamPtr Root = firSourcePipeline({3.0, 1.0, -2.0});
+  PipelineOptions PO;
+  PO.Mode = OptMode::Linear;
+  PO.Exec.Eng = Engine::Native;
+  PO.UseProgramCache = false;
+  CompileResult R = compileStream(*Root, PO);
+  ASSERT_NE(R.Program, nullptr);
+  const PassInfo *NP = nullptr;
+  for (const PassInfo &P : R.Passes)
+    if (P.Name == "native-codegen")
+      NP = &P;
+  ASSERT_NE(NP, nullptr) << "pipeline did not record the native-codegen pass";
+  if (haveToolchain()) {
+    EXPECT_FALSE(R.Degraded) << R.DegradeReason;
+    EXPECT_TRUE(NP->Note == "emitted+compiled" ||
+                NP->Note == "native cache hit (memory)")
+        << NP->Note;
+  } else {
+    // No toolchain in this environment: the pass degrades, visibly.
+    EXPECT_TRUE(R.Degraded);
+    EXPECT_FALSE(R.DegradeReason.empty());
+  }
+}
+
+} // namespace

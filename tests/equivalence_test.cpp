@@ -15,11 +15,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Benchmarks.h"
+#include "codegen/CxxBackend.h"
+#include "codegen/NativeModule.h"
 #include "exec/Measure.h"
 #include "opt/Optimizer.h"
 #include "TestGraphs.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sys/wait.h>
 
 using namespace slin;
 using namespace slin::apps;
@@ -228,5 +233,81 @@ TEST_P(BenchmarkEngineEquivalence, BitIdenticalOutputs) {
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkEngineEquivalence,
                          ::testing::ValuesIn(makeCases()), caseName);
+
+//===----------------------------------------------------------------------===//
+// Native-engine column (emitted C++, compiled and dlopen'd)
+//===----------------------------------------------------------------------===//
+
+/// The Engine::Native column of the matrix: across the Figure 5-1 suite
+/// x {Linear, AutoSel}, the emitted-C++ engine must be *bit-identical*
+/// to the compiled op-tape engine on the very same program — the
+/// generated code replays the interpreter's evaluation order and is
+/// built with -ffp-contract=off / -fno-builtin, so not even round-off
+/// may differ. Without a toolchain the engine degrades to the op tapes,
+/// which makes the property trivially true; skip so degradation doesn't
+/// masquerade as codegen coverage (the CI no-toolchain arm asserts the
+/// degraded path separately).
+class BenchmarkNativeEquivalence : public ::testing::TestWithParam<Case> {};
+
+/// True when the discovered compiler both exists and runs: the CI
+/// no-toolchain arm names a *nonexistent* SLIN_CXX, which
+/// discoverCompiler() returns verbatim, so the empty() check alone would
+/// let the suite run degraded and trivially-pass.
+bool toolchainWorks() {
+  std::string Cxx = codegen::discoverCompiler();
+  if (Cxx.empty())
+    return false;
+  std::string Cmd = "'" + Cxx + "' --version >/dev/null 2>&1";
+  int Rc = std::system(Cmd.c_str());
+  return Rc != -1 && WIFEXITED(Rc) && WEXITSTATUS(Rc) == 0;
+}
+
+TEST_P(BenchmarkNativeEquivalence, BitIdenticalToCompiledEngine) {
+  if (!toolchainWorks())
+    GTEST_SKIP() << "no working C++ toolchain; Engine::Native degrades "
+                    "to op tapes";
+  const Case &C = GetParam();
+  StreamPtr Base;
+  for (const BenchmarkEntry &B : allBenchmarks())
+    if (B.Name == C.Benchmark)
+      Base = B.Build();
+  ASSERT_NE(Base, nullptr);
+  OptimizerOptions O;
+  O.Mode = C.Mode;
+  O.Combine = C.Combine;
+  StreamPtr Opt = optimize(*Base, O);
+
+  size_t N = 48;
+  auto Comp = collectOutputs(*Opt, N, Engine::Compiled);
+  auto Native = collectOutputs(*Opt, N, Engine::Native);
+  EXPECT_EQ(Comp, Native);
+}
+
+// NOTE (FLOP counts under Engine::Native): the engine-equivalence FLOP
+// assertions elsewhere in the suite are *not* replicated for the Native
+// column. Emitted machine code performs no op accounting; counting runs
+// are dispatched to the op tapes instead (CompiledExecutor's
+// counting-gated dispatch), so a FLOP assertion under Engine::Native
+// would measure the tape fallback — the identical numbers the Compiled
+// column already asserts — while the native code path contributes
+// nothing. codegen_test's CountingRunsFallBackToTapesSoFlopsMatchCompiled
+// pins that fallback equality; here the assertion is skipped, visibly.
+TEST(BenchmarkNativeEquivalence, FlopCountAssertionsNotApplicable) {
+  GTEST_SKIP() << "FLOP-count assertions are skipped under Engine::Native: "
+                  "emitted code does no op accounting, counting runs fall "
+                  "back to the op tapes (see the NOTE above this test)";
+}
+
+std::vector<Case> nativeCases() {
+  std::vector<Case> Cases;
+  for (const BenchmarkEntry &B : allBenchmarks()) {
+    Cases.push_back({B.Name, OptMode::Linear, true});
+    Cases.push_back({B.Name, OptMode::AutoSel, true});
+  }
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig51Suite, BenchmarkNativeEquivalence,
+                         ::testing::ValuesIn(nativeCases()), caseName);
 
 } // namespace

@@ -16,6 +16,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "codegen/CxxBackend.h"
+#include "codegen/NativeModule.h"
 #include "compiler/ArtifactStore.h"
 #include "compiler/Pipeline.h"
 #include "compiler/Program.h"
@@ -712,6 +714,122 @@ TEST(RunDeadlineToken, FromEnvReadsPerCall) {
   EXPECT_TRUE(faults::RunDeadline::fromEnv().hasDeadline());
   ::unsetenv("SLIN_RUN_DEADLINE_MS");
   EXPECT_FALSE(faults::RunDeadline::fromEnv().hasDeadline());
+}
+
+//===----------------------------------------------------------------------===//
+// Native codegen (codegen-cc-fail / codegen-dlopen-fail)
+//===----------------------------------------------------------------------===//
+
+/// Clears the native-module cache (including negative entries) so a
+/// fault armed here cannot poison — or be masked by — another test's
+/// memoized module.
+struct NativeGuard {
+  NativeGuard() {
+    codegen::NativeModuleCache::global().clear();
+    codegen::NativeModuleCache::global().resetStats();
+  }
+  ~NativeGuard() {
+    codegen::NativeModuleCache::global().clear();
+    codegen::NativeModuleCache::global().resetStats();
+  }
+};
+
+/// True when the discovered compiler both exists and runs (the CI
+/// no-toolchain arm names a nonexistent SLIN_CXX, which
+/// discoverCompiler() returns verbatim).
+bool toolchainWorks() {
+  std::string Cxx = codegen::discoverCompiler();
+  if (Cxx.empty())
+    return false;
+  std::string Cmd = "'" + Cxx + "' --version >/dev/null 2>&1";
+  int Rc = std::system(Cmd.c_str());
+  return Rc != -1 && WIFEXITED(Rc) && WEXITSTATUS(Rc) == 0;
+}
+
+/// First N outputs with module \p M attached (null: op tapes).
+std::vector<double> runWithModule(const CompiledProgramRef &P,
+                                  codegen::NativeModuleRef M, size_t N) {
+  CompiledExecutor E(P, std::move(M));
+  E.run(N);
+  std::vector<double> Out =
+      E.printed().empty() ? E.outputSnapshot() : E.printed();
+  if (Out.size() > N)
+    Out.resize(N);
+  return Out;
+}
+
+TEST(NativeCodegenFaults, CompileFailureDegradesBitIdentical) {
+  FaultGuard G;
+  NativeGuard NG;
+  if (codegen::discoverCompiler().empty())
+    GTEST_SKIP() << "no C++ toolchain available";
+  StreamPtr Root = firSourcePipeline({2.5, -1.25, 0.5, 3.0});
+  CompiledProgramRef P = makeProgram(*Root);
+  std::vector<double> Clean = runProgram(P, 96);
+
+  faults::arm(faults::Point::CodegenCcFail, 1);
+  std::string Reason;
+  codegen::NativeModuleRef M =
+      codegen::NativeModuleCache::global().get(*P, &Reason);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_NE(Reason.find("injected compiler failure"), std::string::npos);
+  EXPECT_EQ(codegen::NativeModuleCache::global().stats().CompileFailures, 1u);
+
+  // The degraded engine answers on the op tapes, bit-identically.
+  EXPECT_EQ(runWithModule(P, M, 96), Clean);
+}
+
+TEST(NativeCodegenFaults, DlopenFailureDegradesBitIdentical) {
+  FaultGuard G;
+  NativeGuard NG;
+  if (!toolchainWorks())
+    GTEST_SKIP() << "no working C++ toolchain available";
+  StreamPtr Root = firSourcePipeline({1.5, 4.0, -2.0, 0.25});
+  CompiledProgramRef P = makeProgram(*Root);
+  std::vector<double> Clean = runProgram(P, 96);
+
+  // The compile succeeds; loading the fresh object fails.
+  faults::arm(faults::Point::CodegenDlopenFail, 1);
+  std::string Reason;
+  codegen::NativeModuleRef M =
+      codegen::NativeModuleCache::global().get(*P, &Reason);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_NE(Reason.find("injected dlopen failure"), std::string::npos);
+  auto S = codegen::NativeModuleCache::global().stats();
+  EXPECT_EQ(S.Compiles, 1u);
+  EXPECT_EQ(S.DlopenFailures, 1u);
+
+  EXPECT_EQ(runWithModule(P, M, 96), Clean);
+}
+
+TEST(NativeCodegenFaults, DiskTierDlopenFailureEvictsAndRebuilds) {
+  FaultGuard G;
+  NativeGuard NG;
+  if (!toolchainWorks())
+    GTEST_SKIP() << "no working C++ toolchain available";
+  StoreGuard SG;
+  codegen::NativeModuleCache &C = codegen::NativeModuleCache::global();
+  StreamPtr Root = firSourcePipeline({0.75, -3.0, 2.25});
+  CompiledProgramRef P = makeProgram(*Root);
+  std::vector<double> Clean = runProgram(P, 96);
+
+  // Build and publish the object, then forget the in-memory module.
+  ASSERT_NE(C.get(*P), nullptr);
+  ASSERT_EQ(C.stats().Compiles, 1u);
+  C.clear();
+  C.resetStats();
+
+  // The disk-tier dlopen fails once: the stored object must be evicted
+  // and a fresh build must serve the module — never a crash, never null.
+  faults::arm(faults::Point::CodegenDlopenFail, 1);
+  codegen::NativeModuleRef M = C.get(*P);
+  ASSERT_NE(M, nullptr);
+  auto S = C.stats();
+  EXPECT_EQ(S.DiskHits, 0u);
+  EXPECT_EQ(S.DlopenFailures, 1u);
+  EXPECT_EQ(S.Compiles, 1u);
+
+  EXPECT_EQ(runWithModule(P, M, 96), Clean);
 }
 
 } // namespace
