@@ -1144,6 +1144,55 @@ std::string ArtifactStore::pathFor(const Key &K) const {
          ".slin";
 }
 
+namespace {
+
+/// Inverse of HashDigest::str() over one 32-char lowercase-hex name
+/// segment; false on any non-hex character.
+bool parseDigest(const std::string &S, size_t At, HashDigest &Out) {
+  auto Nibble = [](char C, uint64_t &V) {
+    if (C >= '0' && C <= '9')
+      V = static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      V = static_cast<uint64_t>(C - 'a' + 10);
+    else
+      return false;
+    return true;
+  };
+  Out = HashDigest();
+  for (int I = 0; I != 16; ++I) {
+    uint64_t LoN = 0, HiN = 0;
+    if (!Nibble(S[At + static_cast<size_t>(15 - I)], LoN) ||
+        !Nibble(S[At + static_cast<size_t>(31 - I)], HiN))
+      return false;
+    Out.Lo |= LoN << (4 * I);
+    Out.Hi |= HiN << (4 * I);
+  }
+  return true;
+}
+
+} // namespace
+
+std::vector<ArtifactStore::Key> ArtifactStore::listArtifacts() const {
+  std::vector<Key> Out;
+  char Prefix[32];
+  std::snprintf(Prefix, sizeof(Prefix), "a-v%u-f%u-", formatVersion(),
+                buildFlags());
+  const std::string Pre = Prefix;
+  // a-v<ver>-f<flags>-<32 hex>-<32 hex>.slin
+  const size_t NameLen = Pre.size() + 32 + 1 + 32 + 5;
+  for (const DirEntry &E : listDir(Dir)) {
+    if (E.Name.size() != NameLen || E.Name.compare(0, Pre.size(), Pre) != 0 ||
+        E.Name.compare(NameLen - 5, 5, ".slin") != 0 ||
+        E.Name[Pre.size() + 32] != '-')
+      continue;
+    Key K;
+    if (parseDigest(E.Name, Pre.size(), K.Structure) &&
+        parseDigest(E.Name, Pre.size() + 33, K.Options))
+      Out.push_back(K);
+  }
+  return Out;
+}
+
 std::string ArtifactStore::aliasPathFor(const HashDigest &PipelineKey) const {
   char Buf[32];
   std::snprintf(Buf, sizeof(Buf), "k-v%u-f%u-", formatVersion(),

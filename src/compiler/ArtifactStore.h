@@ -168,6 +168,13 @@ public:
   /// Artifact file path for \p K (for tests that corrupt/patch files).
   std::string pathFor(const Key &K) const;
 
+  /// Keys of every program artifact currently in the store whose file
+  /// name matches this build's format version and build flags (the only
+  /// ones load() could accept). Parsed from file names; no file content
+  /// is read or validated. The inventory hook for tools that audit a
+  /// store, e.g. tools/slin-lint's lint-what-you-serve mode.
+  std::vector<Key> listArtifacts() const;
+
 private:
   std::string aliasPathFor(const HashDigest &PipelineKey) const;
   Status writeAtomic(const std::string &Path,

@@ -13,6 +13,7 @@
 #include "opt/Selection.h"
 #include "support/Diag.h"
 #include "support/FaultInjection.h"
+#include "verify/Lint.h"
 
 #include <chrono>
 #include <cstdio>
@@ -415,6 +416,33 @@ CompileResult CompilerPipeline::compileImpl(const Stream &Root,
           fatalError(Msg);
         *St = Status(ErrorCode::VerifyFailed, Msg);
         return R;
+      }
+      // The abstract-interpretation linter (src/verify/): three
+      // independent oracles over the op tapes and schedule the
+      // downstream engines are about to trust.
+      struct LintPass {
+        const char *Name;
+        std::string (*Run)(const CompiledProgram &, verify::LintReport &);
+      };
+      const LintPass LintPasses[] = {{"verify-linear", verify::verifyLinear},
+                                     {"verify-bounds", verify::verifyBounds},
+                                     {"verify-state", verify::verifyState}};
+      verify::LintReport Report;
+      for (const LintPass &LP : LintPasses) {
+        std::string LintErr =
+            runPass(R, LP.Name, [&] { return LP.Run(*R.Program, Report); });
+        R.Passes.back().Note = "after lower";
+        if (LintErr.empty() &&
+            faults::shouldFail(faults::Point::LintVerifierTrip))
+          LintErr = std::string(LP.Name) + ": injected lint-verifier trip";
+        if (!LintErr.empty()) {
+          std::string Msg = "lint verification failed after lowering: " +
+                            LintErr;
+          if (!St)
+            fatalError(Msg);
+          *St = Status(ErrorCode::VerifyFailed, Msg);
+          return R;
+        }
       }
     }
   }

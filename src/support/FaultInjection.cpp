@@ -70,6 +70,8 @@ const char *slin::faults::pointName(Point P) {
     return "codegen-cc-fail";
   case Point::CodegenDlopenFail:
     return "codegen-dlopen-fail";
+  case Point::LintVerifierTrip:
+    return "lint-verifier-trip";
   case Point::NumPoints:
     break;
   }

@@ -51,6 +51,7 @@ enum class Point : int {
   ExecHang,           ///< exec-hang: run loop stalls until its deadline
   CodegenCcFail,      ///< codegen-cc-fail: native-code compiler invocation fails
   CodegenDlopenFail,  ///< codegen-dlopen-fail: loading the built .so fails
+  LintVerifierTrip,   ///< lint-verifier-trip: abstract-interp linter failure
   NumPoints
 };
 

@@ -1,0 +1,150 @@
+//===- verify/AffineDomain.h - Affine abstract value domain -----*- C++ -*-===//
+///
+/// \file
+/// The value domain of the abstract-interpretation linter (src/verify/):
+/// every tape register, field element and pushed value is tracked as an
+/// affine combination of the current firing's input window, the filter's
+/// symbolic initial state, and a constant:
+///
+///     v  =  Σᵢ In[i]·peek(i)  +  Σₛ State[s]·state(s)  +  Const
+///
+/// with two extra points: Top (no affine form known) and ModVal — the
+/// image of an affine value under fmod(·, Mod), the shape that
+/// OpProgram::analyzeSteadyState's modular-cursor claims take.
+///
+/// The arithmetic transfer functions mirror linear/Extract.cpp's LinForm
+/// operations *operation for operation*: the same operand orders, the
+/// same `V.Coeffs[i] += Sign * R.Coeffs[i]` accumulation for add/sub,
+/// the same const-side preference for multiply, and the same
+/// scale-by-reciprocal division. A value both analyses call affine
+/// therefore carries bit-identical coefficients — the property the
+/// verify-linear oracle's exact `[A, b]` cross-check rests on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_VERIFY_AFFINEDOMAIN_H
+#define SLIN_VERIFY_AFFINEDOMAIN_H
+
+#include "matrix/Matrix.h"
+#include "wir/OpTape.h"
+
+#include <cstdint>
+#include <map>
+
+namespace slin {
+namespace verify {
+
+/// Symbol naming one element of a filter's initial (pre-firing) mutable
+/// state: field index in the high half, element index in the low half.
+using StateSym = int64_t;
+
+inline StateSym stateSym(int Field, int Elem) {
+  return (static_cast<int64_t>(Field) << 32) |
+         static_cast<uint32_t>(Elem);
+}
+inline int symField(StateSym S) { return static_cast<int>(S >> 32); }
+inline int symElem(StateSym S) {
+  return static_cast<int>(S & 0xffffffff);
+}
+
+class AffineValue {
+public:
+  enum class Kind {
+    Val,    ///< affine: In·peeks + State·state + Const
+    ModVal, ///< fmod(affine part, Mod) with Mod a positive constant
+    Top,    ///< unknown / not affine
+  };
+
+  Kind K = Kind::Val;
+  /// Dense input-window coefficients, always sized to the filter's peek
+  /// window E = max(peek, pop) — dense so elementwise arithmetic visits
+  /// exactly the entries Extract's Vector arithmetic visits.
+  Vector In;
+  /// Sparse initial-state coefficients (mutable field elements only).
+  std::map<StateSym, double> State;
+  double Const = 0.0;
+  double Mod = 0.0; ///< ModVal only; > 0
+
+  static AffineValue top() {
+    AffineValue V;
+    V.K = Kind::Top;
+    return V;
+  }
+  static AffineValue constant(double C, size_t E) {
+    AffineValue V;
+    V.In = Vector(E);
+    V.Const = C;
+    return V;
+  }
+  /// peek(\p Pos): unit coefficient, exactly Extract's buildCoeff.
+  static AffineValue input(size_t Pos, size_t E) {
+    AffineValue V;
+    V.In = Vector(E);
+    V.In[Pos] = 1.0;
+    return V;
+  }
+  static AffineValue initialState(int Field, int Elem, size_t E) {
+    AffineValue V;
+    V.In = Vector(E);
+    V.State[stateSym(Field, Elem)] = 1.0;
+    return V;
+  }
+
+  bool isVal() const { return K == Kind::Val; }
+  bool isTop() const { return K == Kind::Top; }
+  bool isModVal() const { return K == Kind::ModVal; }
+
+  /// Any nonzero initial-state coefficient? (Zero-valued entries are
+  /// treated as absent, so scaling by 0 does not change the answer.)
+  bool dependsOnState() const;
+
+  /// Constant in Extract's sense: a Val with no nonzero input or state
+  /// coefficient.
+  bool isConst() const {
+    return isVal() && In.countNonZero() == 0 && !dependsOnState();
+  }
+
+  /// Affine purely over the input window — the verify-linear shape.
+  bool isInputAffine() const { return isVal() && !dependsOnState(); }
+
+  /// Exact structural equality (double ==, zero state entries ignored):
+  /// the join the path-forking executor uses, matching Extract's
+  /// exact-equality confluence.
+  bool sameValue(const AffineValue &O) const;
+
+  /// Human-readable rendering for findings ("0.5*peek(3) + state(h[0]) +
+  /// 1"). \p FieldName maps a field index to its name (may be null).
+  std::string str(const std::vector<std::string> *FieldNames = nullptr) const;
+};
+
+/// L + Sign*R, Extract's Add/Sub: start from L, accumulate Sign*R.
+AffineValue affAdd(const AffineValue &L, const AffineValue &R, double Sign);
+
+/// V scaled by the constant C — Extract's scale (every coefficient and
+/// the constant multiplied, in place, in index order).
+AffineValue affScale(const AffineValue &V, double C);
+
+/// Extract's multiply: constant side scales the other (L-const checked
+/// first); both non-constant is Top.
+AffineValue affMul(const AffineValue &L, const AffineValue &R);
+
+/// Extract's divide: constant nonzero divisor scales L by 1.0/C
+/// (reciprocal-then-multiply, NOT elementwise division).
+AffineValue affDiv(const AffineValue &L, const AffineValue &R);
+
+/// Extract's Neg: elementwise negation (not 0 - x).
+AffineValue affNeg(const AffineValue &V);
+
+/// fmod: both-constant folds exactly as Extract does; an affine L with a
+/// positive constant modulus becomes ModVal (the analyzeSteadyState
+/// cursor shape); anything else is Top.
+AffineValue affModOp(const AffineValue &L, const AffineValue &R);
+
+/// Comparison / logical ops (Lt..Ne, Bool, Not): constant-foldable only,
+/// with the tape's exact 1.0/0.0 semantics.
+AffineValue affCompare(wir::Op K, const AffineValue &L, const AffineValue &R);
+
+} // namespace verify
+} // namespace slin
+
+#endif // SLIN_VERIFY_AFFINEDOMAIN_H

@@ -1,0 +1,638 @@
+//===- verify/Lint.cpp - WIR abstract-interpretation linter ---------------===//
+
+#include "verify/Lint.h"
+
+#include "graph/Stream.h"
+#include "linear/Extract.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+using namespace slin;
+using namespace slin::verify;
+
+//===----------------------------------------------------------------------===//
+// LintReport
+//===----------------------------------------------------------------------===//
+
+size_t LintReport::errorCount() const {
+  size_t N = 0;
+  for (const Finding &F : Findings)
+    N += F.Sev == Finding::Severity::Error;
+  return N;
+}
+
+size_t LintReport::noteCount() const {
+  return Findings.size() - errorCount();
+}
+
+std::string LintReport::firstError() const {
+  for (const Finding &F : Findings)
+    if (F.Sev == Finding::Severity::Error)
+      return F.Message;
+  return "";
+}
+
+std::string LintReport::text() const {
+  std::string Out;
+  for (const Finding &F : Findings) {
+    Out += F.Sev == Finding::Severity::Error ? "error" : "note";
+    Out += " [" + F.Pass + "] " + F.Where;
+    if (F.Pc >= 0)
+      Out += " @pc " + std::to_string(F.Pc);
+    Out += ": " + F.Message + "\n";
+  }
+  Out += std::to_string(errorCount()) + " error(s), " +
+         std::to_string(noteCount()) + " note(s)\n";
+  return Out;
+}
+
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string LintReport::json() const {
+  std::string Out = "{\"errors\":" + std::to_string(errorCount()) +
+                    ",\"notes\":" + std::to_string(noteCount()) +
+                    ",\"findings\":[";
+  bool First = true;
+  for (const Finding &F : Findings) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += std::string("{\"severity\":\"") +
+           (F.Sev == Finding::Severity::Error ? "error" : "note") +
+           "\",\"pass\":\"" + jsonEscape(F.Pass) + "\",\"where\":\"" +
+           jsonEscape(F.Where) + "\",\"pc\":" + std::to_string(F.Pc) +
+           ",\"message\":\"" + jsonEscape(F.Message) + "\"}";
+  }
+  Out += "]}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// verify-linear: the linearity oracle
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Why the abstract execution says the tape is not input-affine; empty
+/// when it is. Also yields a witness pc where one exists.
+std::string notAffineWitness(const wir::OpProgram &Tape,
+                             const TapeSummary &Sum, int &Pc) {
+  Pc = -1;
+  if (!Sum.Faults.empty()) {
+    Pc = Sum.Faults.front().Pc;
+    return Sum.Faults.front().Msg;
+  }
+  if (Sum.Exploded)
+    return "abstract execution exhausted its budget";
+  if (!Sum.Completed)
+    return "no execution path reaches Halt";
+  if (Sum.HasPrint)
+    return "tape prints (side effect outside the affine form)";
+  if (Sum.Pops != Tape.popRate() || Sum.PushCount != Tape.pushRate())
+    return "pop/push counts disagree with the declared rates";
+  for (size_t J = 0; J != Sum.Pushes.size(); ++J) {
+    const AffineValue &V = Sum.Pushes[J];
+    if (V.isTop()) {
+      Pc = Sum.FirstForkPc;
+      return "push " + std::to_string(J) +
+             " has no affine form (nonlinear op or data-dependent paths)";
+    }
+    if (!V.isInputAffine())
+      return "push " + std::to_string(J) +
+             " depends on mutable state: " + V.str(&Tape.fieldNames());
+  }
+  return "";
+}
+
+/// The pass-summary convention of opt/Cleanup.h: "" when no new error
+/// findings were added, else a one-line roll-up. \p FindingsBefore is the
+/// findings() size when the pass started.
+std::string passResult(const LintReport &R, size_t FindingsBefore,
+                       const char *Pass) {
+  size_t New = 0;
+  std::string First;
+  for (size_t I = FindingsBefore; I < R.findings().size(); ++I) {
+    const Finding &F = R.findings()[I];
+    if (F.Sev != Finding::Severity::Error)
+      continue;
+    if (New++ == 0)
+      First = F.Where + ": " + F.Message;
+  }
+  if (New == 0)
+    return "";
+  return std::string(Pass) + ": " + std::to_string(New) + " finding(s); " +
+         First;
+}
+
+} // namespace
+
+void verify::lintTapeLinear(const wir::OpProgram &Tape, const Filter &F,
+                            const std::string &Where, LintReport &R) {
+  const char *Pass = "verify-linear";
+  ExtractionResult Ext = extractLinearNode(F);
+  TapeSummary Sum = abstractExecute(Tape, F.fields());
+  int WitnessPc = -1;
+  std::string Witness = notAffineWitness(Tape, Sum, WitnessPc);
+  bool TapeAffine = Witness.empty();
+
+  if (!Ext.isLinear()) {
+    // Agreeing on "not linear" is success. A tape that *is* affine where
+    // extraction declined for a structural reason (init work, zero push
+    // rate) is expected; anything else is worth a look.
+    if (TapeAffine && !F.hasInitWork() && F.pushRate() > 0)
+      R.note(Pass, Where, -1,
+             "tape is input-affine but extraction reports nonlinear (" +
+                 Ext.FailureReason + ")");
+    return;
+  }
+
+  const LinearNode &LN = *Ext.Node;
+  if (!TapeAffine) {
+    R.error(Pass, Where, WitnessPc,
+            "extraction claims linear but the tape is not affine: " +
+                Witness);
+    return;
+  }
+  int E = std::max(Tape.peekRate(), Tape.popRate());
+  if (LN.peekRate() != E || LN.popRate() != Tape.popRate() ||
+      LN.pushRate() != Tape.pushRate()) {
+    R.error(Pass, Where, -1,
+            "linear node rates (e=" + std::to_string(LN.peekRate()) + ", o=" +
+                std::to_string(LN.popRate()) + ", u=" +
+                std::to_string(LN.pushRate()) + ") disagree with the tape (e=" +
+                std::to_string(E) + ", o=" + std::to_string(Tape.popRate()) +
+                ", u=" + std::to_string(Tape.pushRate()) + ")");
+    return;
+  }
+  // Exact [A, b] cross-check, coefficient by coefficient.
+  const size_t MaxReported = 16;
+  size_t Mismatches = 0;
+  auto Report = [&](const std::string &Msg) {
+    if (++Mismatches <= MaxReported)
+      R.error(Pass, Where, -1, Msg);
+  };
+  for (int J = 0; J != LN.pushRate(); ++J) {
+    const AffineValue &V = Sum.Pushes[static_cast<size_t>(J)];
+    for (int P = 0; P != E; ++P) {
+      double Want = LN.coeff(P, J);
+      double Got = V.In[static_cast<size_t>(P)];
+      if (Want != Got)
+        Report("push " + std::to_string(J) + ", coefficient of peek(" +
+               std::to_string(P) + "): extraction says " +
+               std::to_string(Want) + ", tape derives " + std::to_string(Got));
+    }
+    if (LN.offset(J) != V.Const)
+      Report("push " + std::to_string(J) + " offset: extraction says " +
+             std::to_string(LN.offset(J)) + ", tape derives " +
+             std::to_string(V.Const));
+  }
+  if (Mismatches > MaxReported)
+    R.error(Pass, Where, -1,
+            "... and " + std::to_string(Mismatches - MaxReported) +
+                " more coefficient mismatches");
+}
+
+std::string verify::verifyLinear(const CompiledProgram &P, LintReport &R) {
+  size_t Before = R.findings().size();
+  const flat::FlatGraph &G = P.graph();
+  for (size_t I = 0; I != G.Nodes.size(); ++I) {
+    const flat::Node &N = G.Nodes[I];
+    if (N.Kind != flat::NodeKind::Filter || !N.F || N.F->isNative())
+      continue;
+    const CompiledProgram::FilterArtifact &Art = P.filterArtifact(I);
+    if (Art.Work.empty())
+      continue;
+    lintTapeLinear(Art.Work, *N.F, N.Name, R);
+  }
+  return passResult(R, Before, "verify-linear");
+}
+
+//===----------------------------------------------------------------------===//
+// verify-bounds: the bounds & rate proof
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-tape bounds pass; returns the summary so the schedule replay can
+/// reuse the derived rates and peek extent.
+TapeSummary boundsOneTape(const wir::OpProgram &Tape,
+                          const std::vector<wir::FieldDef> &Fields,
+                          const std::string &Where, LintReport &R) {
+  const char *Pass = "verify-bounds";
+  TapeSummary Sum = abstractExecute(Tape, Fields);
+  for (const TapeFault &F : Sum.Faults)
+    R.error(Pass, Where, F.Pc, F.Msg);
+  if (Sum.Faults.empty() && !Sum.Exploded && !Sum.Completed)
+    R.error(Pass, Where, -1, "no execution path reaches Halt");
+  return Sum;
+}
+
+} // namespace
+
+void verify::lintTapeBounds(const wir::OpProgram &Tape,
+                            const std::vector<wir::FieldDef> &Fields,
+                            const std::string &Where, LintReport &R) {
+  boundsOneTape(Tape, Fields, Where, R);
+}
+
+std::string verify::verifyBounds(const CompiledProgram &P, LintReport &R) {
+  const char *Pass = "verify-bounds";
+  size_t Before = R.findings().size();
+  const flat::FlatGraph &G = P.graph();
+  const StaticSchedule &S = P.schedule();
+
+  // Tape-derived firing I/O per node; declared rates elsewhere.
+  struct NodeIO {
+    bool Derived = false; ///< filter with a tape (vs. declared rates)
+    bool HasInit = false;
+    int64_t Pops = 0, Pushes = 0, Need = 0;
+    int64_t InitPops = 0, InitPushes = 0, InitNeed = 0;
+  };
+  std::vector<NodeIO> IO(G.Nodes.size());
+
+  for (size_t I = 0; I != G.Nodes.size(); ++I) {
+    const flat::Node &N = G.Nodes[I];
+    if (N.Kind != flat::NodeKind::Filter || !N.F || N.F->isNative())
+      continue;
+    const Filter &F = *N.F;
+    const CompiledProgram::FilterArtifact &Art = P.filterArtifact(I);
+    if (Art.Work.empty())
+      continue;
+    TapeSummary Sum = boundsOneTape(Art.Work, F.fields(), N.Name, R);
+    if (Art.Work.peekRate() != F.peekRate() ||
+        Art.Work.popRate() != F.popRate() ||
+        Art.Work.pushRate() != F.pushRate())
+      R.error(Pass, N.Name, -1,
+              "tape rates (peek " + std::to_string(Art.Work.peekRate()) +
+                  ", pop " + std::to_string(Art.Work.popRate()) + ", push " +
+                  std::to_string(Art.Work.pushRate()) +
+                  ") disagree with the filter's declared rates (peek " +
+                  std::to_string(F.peekRate()) + ", pop " +
+                  std::to_string(F.popRate()) + ", push " +
+                  std::to_string(F.pushRate()) + ")");
+    NodeIO &D = IO[I];
+    D.Derived = true;
+    D.Pops = Art.Work.popRate();
+    D.Pushes = Art.Work.pushRate();
+    D.Need = std::max<int64_t>(Sum.MaxPeekPos + 1, D.Pops);
+    if (!Art.InitWork.empty()) {
+      TapeSummary ISum =
+          boundsOneTape(Art.InitWork, F.fields(), N.Name + " [init]", R);
+      D.HasInit = true;
+      D.InitPops = Art.InitWork.popRate();
+      D.InitPushes = Art.InitWork.pushRate();
+      D.InitNeed = std::max<int64_t>(ISum.MaxPeekPos + 1, D.InitPops);
+      if (Art.InitWork.popRate() != F.initPopRate() ||
+          Art.InitWork.pushRate() != F.initPushRate())
+        R.error(Pass, N.Name + " [init]", -1,
+                "init tape rates disagree with the filter's declared init "
+                "rates");
+    }
+  }
+
+  // Replay the firing programs with the *derived* filter I/O: every
+  // channel read stays covered by live items, and live counts stay
+  // within the schedule's high-water marks and buffer capacities — the
+  // flat-buffer positions CxxEmit's emitted code indexes with.
+  size_t NumChans = G.numChannels();
+  auto External = [&](int C) {
+    return C == G.ExternalIn || C == G.ExternalOut;
+  };
+  std::vector<int64_t> FiredEver(G.Nodes.size(), 0);
+  auto Replay = [&](const FiringProgram &Prog, std::vector<int64_t> &Live,
+                    const char *Which) {
+    std::vector<int64_t> StartLive = Live;
+    std::vector<int64_t> Appended(NumChans, 0);
+    size_t ErrsAtStart = R.errorCount();
+    for (const FiringStep &Step : Prog) {
+      if (Step.Node < 0 ||
+          static_cast<size_t>(Step.Node) >= G.Nodes.size()) {
+        R.error(Pass, "schedule", -1,
+                std::string(Which) + " program fires unknown node " +
+                    std::to_string(Step.Node));
+        return;
+      }
+      const flat::Node &N = G.Nodes[static_cast<size_t>(Step.Node)];
+      const NodeIO &D = IO[static_cast<size_t>(Step.Node)];
+      for (int64_t K = 0; K != Step.Count; ++K) {
+        // Stop piling up findings once the replay has gone off the rails.
+        if (R.errorCount() > ErrsAtStart + 8)
+          return;
+        bool InitF = FiredEver[static_cast<size_t>(Step.Node)] == 0 &&
+                     N.Kind == flat::NodeKind::Filter && N.F &&
+                     N.F->hasInitWork();
+        for (int C : N.inputChannels()) {
+          int64_t Need, Pops;
+          if (D.Derived && C == N.In) {
+            Need = InitF && D.HasInit ? D.InitNeed : D.Need;
+            Pops = InitF && D.HasInit ? D.InitPops : D.Pops;
+          } else {
+            Need = N.peekNeedOn(C, InitF);
+            Pops = N.popsFrom(C, InitF);
+          }
+          if (!External(C)) {
+            size_t Ch = static_cast<size_t>(C);
+            if (Need > Live[Ch])
+              R.error(Pass, "schedule", -1,
+                      std::string(Which) + " program: '" + N.Name +
+                          "' reads " + std::to_string(Need) +
+                          " items on channel " + std::to_string(C) +
+                          " with only " + std::to_string(Live[Ch]) +
+                          " live");
+            Live[Ch] -= Pops;
+            if (Live[Ch] < 0) {
+              R.error(Pass, "schedule", -1,
+                      std::string(Which) + " program: channel " +
+                          std::to_string(C) + " underflows at '" + N.Name +
+                          "'");
+              Live[Ch] = 0;
+            }
+          }
+        }
+        for (int C : N.outputChannels()) {
+          int64_t Pushes;
+          if (D.Derived && C == N.Out)
+            Pushes = InitF && D.HasInit ? D.InitPushes : D.Pushes;
+          else
+            Pushes = N.pushesTo(C, InitF);
+          if (!External(C)) {
+            size_t Ch = static_cast<size_t>(C);
+            Live[Ch] += Pushes;
+            Appended[Ch] += Pushes;
+            if (Ch < S.ChannelHighWater.size() &&
+                Live[Ch] > S.ChannelHighWater[Ch])
+              R.error(Pass, "schedule", -1,
+                      std::string(Which) + " program: channel " +
+                          std::to_string(C) + " holds " +
+                          std::to_string(Live[Ch]) +
+                          " items, above its high-water mark " +
+                          std::to_string(S.ChannelHighWater[Ch]));
+          }
+        }
+        ++FiredEver[static_cast<size_t>(Step.Node)];
+      }
+    }
+    for (size_t C = 0; C != NumChans; ++C)
+      if (!External(static_cast<int>(C)) && C < S.ChannelBufSize.size() &&
+          StartLive[C] + Appended[C] > S.ChannelBufSize[C])
+        R.error(Pass, "schedule", -1,
+                std::string(Which) + " program: flat-buffer positions on "
+                                     "channel " +
+                    std::to_string(C) + " reach " +
+                    std::to_string(StartLive[C] + Appended[C]) +
+                    ", capacity is " + std::to_string(S.ChannelBufSize[C]));
+  };
+
+  if (S.Repetitions.size() == G.Nodes.size() &&
+      S.ChannelHighWater.size() == NumChans &&
+      S.ChannelBufSize.size() == NumChans) {
+    std::vector<int64_t> Live(NumChans, 0);
+    for (size_t C = 0; C != NumChans; ++C)
+      Live[C] = static_cast<int64_t>(G.InitialItems[C].size());
+    Replay(S.InitProgram, Live, "init");
+    Replay(S.BatchProgram, Live, "batch");
+    Replay(S.SteadyProgram, Live, "steady");
+  } else {
+    R.error(Pass, "schedule", -1,
+            "schedule vectors are not sized to the graph");
+  }
+  return passResult(R, Before, "verify-bounds");
+}
+
+//===----------------------------------------------------------------------===//
+// verify-state: the state-classification audit
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Exactly {state(Field, 0): 1.0} and nothing else?
+bool ownSymbolOnly(const AffineValue &V, int Field) {
+  for (const auto &KV : V.State) {
+    if (KV.second == 0.0)
+      continue;
+    if (KV.first != stateSym(Field, 0) || KV.second != 1.0)
+      return false;
+  }
+  auto It = V.State.find(stateSym(Field, 0));
+  return It != V.State.end() && It->second == 1.0;
+}
+
+} // namespace
+
+void verify::lintStateClaims(const wir::OpProgram &Tape,
+                             const std::vector<wir::FieldDef> &Fields,
+                             const wir::SteadyStateInfo &Claims,
+                             const std::string &Where, LintReport &R) {
+  const char *Pass = "verify-state";
+  if (!Claims.Reconstructable)
+    return; // a negative claim is never trusted by anyone
+  TapeSummary Sum = abstractExecute(Tape, Fields);
+  if (!Sum.Completed || Sum.Exploded)
+    return; // unproven, not a violation — stay silent
+
+  // Which fields the tape stores at all, and which claims are closed-form
+  // (readable by input-determined fields without breaking reconstruction).
+  std::vector<bool> Stored(Fields.size(), false);
+  for (const wir::Inst &I : Tape.code())
+    if ((I.K == wir::Op::StoreFld || I.K == wir::Op::StoreFldIdx) &&
+        I.B >= 0 && static_cast<size_t>(I.B) < Fields.size())
+      Stored[static_cast<size_t>(I.B)] = true;
+  std::vector<bool> Closed(Fields.size(), false);
+  for (const wir::SteadyStateInfo::FieldUpdate &U : Claims.Updates)
+    if (U.Kind != wir::SteadyStateInfo::FieldKind::InputDetermined &&
+        U.Field >= 0 && static_cast<size_t>(U.Field) < Fields.size())
+      Closed[static_cast<size_t>(U.Field)] = true;
+  auto SymAllowed = [&](StateSym Sym) {
+    int F = symField(Sym);
+    if (F < 0 || static_cast<size_t>(F) >= Fields.size())
+      return false;
+    // Never-stored mutable fields hold their initial value forever;
+    // closed-form fields are exactly seedable. Either is reconstructable
+    // input to a rewritten field.
+    return !Stored[static_cast<size_t>(F)] || Closed[static_cast<size_t>(F)];
+  };
+
+  for (const wir::SteadyStateInfo::FieldUpdate &U : Claims.Updates) {
+    if (U.Field < 0 || static_cast<size_t>(U.Field) >= Fields.size() ||
+        static_cast<size_t>(U.Field) >= Sum.FieldFinal.size()) {
+      R.error(Pass, Where, -1,
+              "state claim names unknown field " + std::to_string(U.Field));
+      continue;
+    }
+    const std::vector<AffineValue> &Final =
+        Sum.FieldFinal[static_cast<size_t>(U.Field)];
+    const std::string &Name = Fields[static_cast<size_t>(U.Field)].Name;
+    if (Final.empty()) {
+      R.error(Pass, Where, -1, "state claim on empty field '" + Name + "'");
+      continue;
+    }
+    using FieldKind = wir::SteadyStateInfo::FieldKind;
+    switch (U.Kind) {
+    case FieldKind::Affine: {
+      const AffineValue &V = Final[0];
+      if (V.isTop()) {
+        R.note(Pass, Where, -1,
+               "cannot verify affine claim on '" + Name +
+                   "' (value diverged across paths)");
+        break;
+      }
+      bool Shape = V.isVal() && V.In.countNonZero() == 0 &&
+                   ownSymbolOnly(V, U.Field) && V.Const == U.Delta;
+      if (!Shape)
+        R.error(Pass, Where, -1,
+                "claimed '" + Name + "' = '" + Name + "' + " +
+                    std::to_string(U.Delta) + " per firing, tape computes " +
+                    V.str(&Tape.fieldNames()));
+      break;
+    }
+    case FieldKind::ModAffine: {
+      const AffineValue &V = Final[0];
+      if (V.isTop()) {
+        R.note(Pass, Where, -1,
+               "cannot verify modular claim on '" + Name +
+                   "' (value diverged across paths)");
+        break;
+      }
+      bool Shape = V.isModVal() && V.Mod == U.Mod &&
+                   V.In.countNonZero() == 0 && ownSymbolOnly(V, U.Field) &&
+                   V.Const == U.Delta;
+      if (!Shape)
+        R.error(Pass, Where, -1,
+                "claimed '" + Name + "' = fmod('" + Name + "' + " +
+                    std::to_string(U.Delta) + ", " + std::to_string(U.Mod) +
+                    ") per firing, tape computes " +
+                    V.str(&Tape.fieldNames()));
+      break;
+    }
+    case FieldKind::InputDetermined: {
+      for (size_t J = 0; J != Final.size(); ++J) {
+        const AffineValue &V = Final[J];
+        if (V.isTop()) {
+          // A nonlinear function of the current inputs is still
+          // input-determined; Top alone is not a violation.
+          continue;
+        }
+        for (const auto &KV : V.State) {
+          if (KV.second == 0.0 || SymAllowed(KV.first))
+            continue;
+          R.error(Pass, Where, -1,
+                  "claimed '" + Name +
+                      "' is rewritten from current inputs, but its value "
+                      "depends on prior-firing state: " +
+                      V.str(&Tape.fieldNames()));
+          break;
+        }
+      }
+      break;
+    }
+    }
+  }
+}
+
+std::string verify::verifyState(const CompiledProgram &P, LintReport &R) {
+  const char *Pass = "verify-state";
+  size_t Before = R.findings().size();
+  const flat::FlatGraph &G = P.graph();
+  std::map<size_t, wir::SteadyStateInfo> ClaimsByNode;
+  for (size_t I = 0; I != G.Nodes.size(); ++I) {
+    const flat::Node &N = G.Nodes[I];
+    if (N.Kind != flat::NodeKind::Filter || !N.F || N.F->isNative())
+      continue;
+    const CompiledProgram::FilterArtifact &Art = P.filterArtifact(I);
+    if (Art.Work.empty())
+      continue;
+    wir::SteadyStateInfo Claims = Art.Work.analyzeSteadyState(N.F->fields());
+    if (Claims.Reconstructable)
+      lintStateClaims(Art.Work, N.F->fields(), Claims, N.Name, R);
+    ClaimsByNode.emplace(I, std::move(Claims));
+  }
+
+  // The shard seeds are derived from these claims; cross-check that what
+  // the parallel backend will seed matches what the tapes re-derive.
+  const CompiledProgram::ShardInfo &Sh = P.shardInfo();
+  if (Sh.Shardable) {
+    for (const CompiledProgram::ShardInfo::FieldSeed &Seed : Sh.Seeds) {
+      auto It = ClaimsByNode.find(static_cast<size_t>(Seed.Node));
+      if (It == ClaimsByNode.end())
+        continue; // native filter seeds are out of tape scope
+      const flat::Node &N = G.Nodes[static_cast<size_t>(Seed.Node)];
+      const wir::SteadyStateInfo::FieldUpdate *U =
+          It->second.updateFor(Seed.Field);
+      if (!U) {
+        R.error(Pass, N.Name, -1,
+                "shard seed for field " + std::to_string(Seed.Field) +
+                    " has no matching state claim");
+        continue;
+      }
+      bool DeltaOk = Seed.DeltaRest == U->Delta;
+      bool ModOk =
+          U->Kind == wir::SteadyStateInfo::FieldKind::ModAffine
+              ? Seed.Modulus == U->Mod
+              : Seed.Modulus == 0.0;
+      if (U->Kind == wir::SteadyStateInfo::FieldKind::InputDetermined)
+        R.error(Pass, N.Name, -1,
+                "shard seed exists for input-determined field " +
+                    std::to_string(Seed.Field));
+      else if (!DeltaOk || !ModOk)
+        R.error(Pass, N.Name, -1,
+                "shard seed (delta " + std::to_string(Seed.DeltaRest) +
+                    ", mod " + std::to_string(Seed.Modulus) +
+                    ") disagrees with the tape's state claim (delta " +
+                    std::to_string(U->Delta) + ", mod " +
+                    std::to_string(U->Mod) + ")");
+      if (N.F && !N.F->hasInitWork() && Seed.Field >= 0 &&
+          static_cast<size_t>(Seed.Field) < N.F->fields().size()) {
+        const wir::FieldDef &FD =
+            N.F->fields()[static_cast<size_t>(Seed.Field)];
+        if (!FD.Init.empty() && Seed.Base != FD.Init[0])
+          R.error(Pass, N.Name, -1,
+                  "shard seed base " + std::to_string(Seed.Base) +
+                      " disagrees with field initializer " +
+                      std::to_string(FD.Init[0]));
+      }
+    }
+  }
+  return passResult(R, Before, "verify-state");
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program lint
+//===----------------------------------------------------------------------===//
+
+LintReport verify::lintProgram(const CompiledProgram &P) {
+  LintReport R;
+  verifyLinear(P, R);
+  verifyBounds(P, R);
+  verifyState(P, R);
+  return R;
+}

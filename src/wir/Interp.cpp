@@ -5,6 +5,7 @@
 #include "support/Diag.h"
 #include "support/OpCounters.h"
 
+#include <cassert>
 #include <cmath>
 
 using namespace slin;
@@ -58,8 +59,13 @@ private:
     switch (E.kind()) {
     case ExprKind::Const:
       return cast<ConstExpr>(&E)->Value;
-    case ExprKind::VarRef:
-      return Scalars[static_cast<size_t>(cast<VarRefExpr>(&E)->Slot)];
+    case ExprKind::VarRef: {
+      const auto *V = cast<VarRefExpr>(&E);
+      assert(V->Slot >= 0 &&
+             static_cast<size_t>(V->Slot) < Scalars.size() &&
+             "scalar slot out of range (resolver bug)");
+      return Scalars[static_cast<size_t>(V->Slot)];
+    }
     case ExprKind::ArrayRef: {
       const auto *A = cast<ArrayRefExpr>(&E);
       const std::vector<double> &Arr =
@@ -80,8 +86,13 @@ private:
         fatalError("field '" + F->Name + "' index out of range");
       return Val[static_cast<size_t>(I)];
     }
-    case ExprKind::Peek:
-      return T.peek(toIndex(evalUncounted(*cast<PeekExpr>(&E)->Index)));
+    case ExprKind::Peek: {
+      int I = toIndex(evalUncounted(*cast<PeekExpr>(&E)->Index));
+      // Tape implementations only assert in their own debug builds;
+      // stop here, at the firing filter, with the offending index.
+      assert(I >= 0 && "negative peek index");
+      return T.peek(I);
+    }
     case ExprKind::Pop:
       return T.pop();
     case ExprKind::Binary: {

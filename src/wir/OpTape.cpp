@@ -472,6 +472,38 @@ OpProgram OpProgram::compile(const WorkFunction &Work,
 //===----------------------------------------------------------------------===//
 
 void OpProgram::prepareFrame(WorkFrame &F) const {
+#ifndef NDEBUG
+  // Debug builds re-check register and slot operands against the frame
+  // layout before the first firing — the dispatch loop indexes raw
+  // arrays with them unchecked. (Deserialized tapes additionally go
+  // through the verify/ linter's structural checks.)
+  for (const Inst &I : Code) {
+    switch (I.K) {
+    case Op::LoadFld:
+    case Op::StoreFld:
+    case Op::LoadFldIdx:
+    case Op::StoreFldIdx:
+    case Op::MacFldPeek:
+      assert(I.B >= 0 && static_cast<size_t>(I.B) < FieldNames.size() &&
+             "field slot out of range");
+      break;
+    case Op::LoadArr:
+    case Op::StoreArr:
+      assert(I.B >= 0 && static_cast<size_t>(I.B) < ArrBase.size() &&
+             "array slot out of range");
+      break;
+    case Op::ZeroArr:
+      assert(I.A >= 0 && static_cast<size_t>(I.A) < ArrBase.size() &&
+             "array slot out of range");
+      break;
+    default:
+      break;
+    }
+    if (I.K != Op::Jump && I.K != Op::ZeroArr && I.K != Op::Halt &&
+        I.K != Op::PopDiscard)
+      assert(I.A >= 0 && I.A < NumRegs && "register operand out of range");
+  }
+#endif
   if (F.Regs.size() < static_cast<size_t>(NumRegs))
     F.Regs.assign(static_cast<size_t>(NumRegs), 0.0);
   if (F.ArrStore.size() < static_cast<size_t>(ArrStoreSize))
@@ -529,6 +561,14 @@ void OpProgram::runImpl(WorkFrame &F, const double *In, double *Out,
   size_t PC = 0;
   const Inst *Ip;
 
+  // Debug-build bounds assertions: input-window and push-cursor indices
+  // have no release-mode runtime check (unlike field/array accesses) —
+  // they are proven statically by the abstract-interpretation linter
+  // (src/verify/), and debug builds stop at the exact faulting op.
+#ifndef NDEBUG
+  const size_t Window = static_cast<size_t>(std::max(PeekRate, PopRate));
+#endif
+
   // IDX(): index-register conversion; the int-register analysis proved
   // IntIdx registers hold exact integers, making the cast == lround.
 #define IDX()                                                                  \
@@ -583,21 +623,31 @@ void OpProgram::runImpl(WorkFrame &F, const double *In, double *Out,
   OPCASE(Peek): {
     long Idx = IDX();
     assert(In && Idx >= 0 && "peek out of range (scheduler bug)");
+    assert(InPos + static_cast<size_t>(Idx) < Window &&
+           "peek past the input window");
     R[Ip->A] = In[InPos + static_cast<size_t>(Idx)];
     NEXT;
   }
   OPCASE(PeekImm):
     assert(In && "peek on a source filter");
+    assert(InPos + static_cast<size_t>(Ip->B) < Window &&
+           "peek past the input window");
     R[Ip->A] = In[InPos + static_cast<size_t>(Ip->B)];
     NEXT;
   OPCASE(Pop):
     assert(In && "pop on a source filter");
+    assert(InPos < static_cast<size_t>(PopRate) &&
+           "pop past the declared pop rate");
     R[Ip->A] = In[InPos++];
     NEXT;
   OPCASE(PopDiscard):
+    assert(InPos < static_cast<size_t>(PopRate) &&
+           "pop past the declared pop rate");
     ++InPos;
     NEXT;
   OPCASE(Push):
+    assert(OutCur - Out < static_cast<ptrdiff_t>(PushRate) &&
+           "push past the declared push rate");
     *OutCur++ = R[Ip->A];
     NEXT;
   OPCASE(Print):
@@ -731,6 +781,8 @@ void OpProgram::runImpl(WorkFrame &F, const double *In, double *Out,
     if (Idx < 0 || Idx >= FldSz[Ip->B])
       boundsError("field", FieldNames[static_cast<size_t>(Ip->B)]);
     assert(In && "peek on a source filter");
+    assert(InPos + static_cast<size_t>(Idx) < Window &&
+           "peek past the input window");
     double C = Fld[Ip->B][Idx];
     double X = In[InPos + static_cast<size_t>(Idx)];
     R[Ip->A] = CountOps && Ip->Counted ? ops::fma(R[Ip->A], C, X)

@@ -163,6 +163,28 @@ public:
   size_t size() const { return Code.size(); }
   const std::vector<Inst> &code() const { return Code; }
 
+  // Read-only frame/layout metadata, for diagnostics and the
+  // abstract-interpretation linter (src/verify/), which re-executes the
+  // tape symbolically and must address registers, fields and local
+  // arrays exactly as runImpl does.
+  int numRegs() const { return NumRegs; }
+  int arrayCount() const { return static_cast<int>(ArrBase.size()); }
+  int arrayBase(int Slot) const {
+    return ArrBase[static_cast<size_t>(Slot)];
+  }
+  int arrayDeclSize(int Slot) const {
+    return ArrDeclSize[static_cast<size_t>(Slot)];
+  }
+  const std::string &arrayName(int Slot) const {
+    return ArrNames[static_cast<size_t>(Slot)];
+  }
+  int arrayStoreSize() const { return ArrStoreSize; }
+  int fieldCount() const { return static_cast<int>(FieldNames.size()); }
+  const std::string &fieldName(int F) const {
+    return FieldNames[static_cast<size_t>(F)];
+  }
+  const std::vector<std::string> &fieldNames() const { return FieldNames; }
+
   /// Sizes \p F for this program (idempotent; cheap when already sized).
   void prepareFrame(WorkFrame &F) const;
 

@@ -66,11 +66,28 @@ def main():
     )
     args = parser.parse_args()
 
+    # A run that produced nothing must not gate as "compared 0, PASS" —
+    # that is exactly how a broken $SLIN_BENCH_DIR wiring (unset, or
+    # pointing somewhere the benchmarks never wrote) would slip through.
+    if not os.path.isdir(args.current_dir):
+        print(
+            f"error: current dir {args.current_dir!r} does not exist — "
+            "is SLIN_BENCH_DIR set and did the benchmarks run?",
+            file=sys.stderr,
+        )
+        return 2
     current_files = sorted(
         f
         for f in os.listdir(args.current_dir)
         if f.startswith("BENCH_") and f.endswith(".json")
     )
+    if not current_files and not args.update:
+        print(
+            f"error: no BENCH_*.json under {args.current_dir!r} — "
+            "is SLIN_BENCH_DIR set and did the benchmarks run?",
+            file=sys.stderr,
+        )
+        return 2
     if args.update:
         os.makedirs(args.baseline_dir, exist_ok=True)
         stale = [
