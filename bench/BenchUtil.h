@@ -14,6 +14,7 @@
 #include "compiler/AnalysisManager.h"
 #include "exec/Measure.h"
 #include "opt/Optimizer.h"
+#include "support/RuntimeConfig.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,10 +52,7 @@ inline size_t warmupWindow(const std::string &Name) {
 /// Kill-switch for the compiler caches (set SLIN_NO_CACHE=1): the
 /// harnesses report compile time with and without artifact reuse, so the
 /// caches' effect is measurable from the same binary.
-inline bool cachesDisabled() {
-  static const bool Disabled = std::getenv("SLIN_NO_CACHE") != nullptr;
-  return Disabled;
-}
+inline bool cachesDisabled() { return RuntimeConfig::current().NoCache; }
 
 inline AnalysisManager &passThroughAM() {
   static AnalysisManager *AM = [] {
@@ -158,9 +156,9 @@ public:
   /// binary's working directory — and the CWD otherwise.
   void write() {
     std::string Path = "BENCH_" + Name + ".json";
-    if (const char *Dir = std::getenv("SLIN_BENCH_DIR"))
-      if (*Dir)
-        Path = std::string(Dir) + "/" + Path;
+    std::string Dir = RuntimeConfig::current().BenchDir;
+    if (!Dir.empty())
+      Path = Dir + "/" + Path;
     std::FILE *F = std::fopen(Path.c_str(), "w");
     if (!F) {
       std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());

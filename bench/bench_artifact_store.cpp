@@ -20,6 +20,7 @@
 
 #include "compiler/ArtifactStore.h"
 #include "compiler/Program.h"
+#include "support/RuntimeConfig.h"
 
 #include <chrono>
 #include <cstring>
@@ -125,9 +126,7 @@ int serve(const std::string &Dir) {
 
 int coldWarmReport() {
   JsonReport Report("artifact_store");
-  std::string Dir;
-  if (const char *Env = std::getenv("SLIN_ARTIFACT_DIR"))
-    Dir = Env;
+  std::string Dir = RuntimeConfig::current().ArtifactDir;
   bool OwnDir = Dir.empty();
   if (OwnDir) {
     char Buf[64];

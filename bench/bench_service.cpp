@@ -1,0 +1,242 @@
+//===- bench/bench_service.cpp - Service daemon latency/throughput --------===//
+///
+/// \file
+/// Load benchmark for the stream service daemon: concurrent clients
+/// drive an open-loop arrival schedule (request send times are fixed in
+/// advance, so server slowdowns lengthen the measured latencies instead
+/// of silently thinning the load — the coordinated-omission trap) and
+/// every request's send-to-response latency is recorded. Reports p50,
+/// p99, mean and sustained throughput for a throughput-mode and a
+/// latency-mode configuration over a mixed two-graph serving set.
+///
+/// By default the benchmark hosts its own in-process server on a Unix
+/// socket under TMPDIR — one self-contained binary for CI. With
+/// `--connect PATH` it drives an externally started slin-serviced
+/// (same labels, so baselines compare either way).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "service/Client.h"
+#include "service/Server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace slin;
+using namespace slin::service;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char *const GraphA = "FIR";
+const char *const GraphB = "FilterBank";
+
+struct LoadConfig {
+  std::string Label;
+  bool Latency = false;
+  int Requests = 300;
+  int Clients = 4;
+  /// Open-loop arrival rate, chosen well under saturation so the tail
+  /// reflects service time rather than queueing noise (a p99 gated at
+  /// +25% cannot sit on the hockey-stick part of the latency curve).
+  double RatePerSec = 60.0;
+  uint32_t NOutputs = 128;
+};
+
+struct LoadResult {
+  std::vector<double> LatencyMs; ///< one entry per completed request
+  double WallSeconds = 0.0;
+  int Failures = 0;
+};
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+/// Runs one open-loop load configuration against the daemon at \p Path.
+LoadResult runLoad(const std::string &Path, const LoadConfig &Cfg) {
+  LoadResult Res;
+  Res.LatencyMs.resize(static_cast<size_t>(Cfg.Requests), -1.0);
+
+  std::atomic<int> Next{0};
+  std::atomic<int> Failures{0};
+  Clock::time_point Start = Clock::now();
+
+  auto ClientLoop = [&] {
+    Expected<Client> EC = Client::connectUnix(Path);
+    if (!EC.hasValue()) {
+      Failures.fetch_add(1);
+      return;
+    }
+    Client C = EC.take();
+    for (;;) {
+      int I = Next.fetch_add(1);
+      if (I >= Cfg.Requests)
+        return;
+      // Open loop: request I is due at its scheduled arrival time no
+      // matter how slow earlier responses were.
+      Clock::time_point Due =
+          Start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(I / Cfg.RatePerSec));
+      std::this_thread::sleep_until(Due);
+
+      RunRequest R;
+      R.Graph = (I % 2 == 0) ? GraphA : GraphB;
+      R.NOutputs = Cfg.NOutputs;
+      R.Latency = Cfg.Latency;
+      Clock::time_point Sent = Clock::now();
+      Expected<RunResponse> ER = C.run(R);
+      Clock::time_point Got = Clock::now();
+      if (!ER.hasValue() || !ER.take().St.isOk()) {
+        Failures.fetch_add(1);
+        continue;
+      }
+      Res.LatencyMs[static_cast<size_t>(I)] =
+          std::chrono::duration<double, std::milli>(Got - Sent).count();
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  for (int I = 0; I != Cfg.Clients; ++I)
+    Threads.emplace_back(ClientLoop);
+  for (auto &T : Threads)
+    T.join();
+
+  Res.WallSeconds = std::chrono::duration<double>(Clock::now() - Start).count();
+  Res.Failures = Failures.load();
+  Res.LatencyMs.erase(
+      std::remove_if(Res.LatencyMs.begin(), Res.LatencyMs.end(),
+                     [](double L) { return L < 0.0; }),
+      Res.LatencyMs.end());
+  return Res;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string ConnectPath;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--connect" && I + 1 < Argc) {
+      ConnectPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: bench_service [--connect SOCKET_PATH]\n");
+      return 2;
+    }
+  }
+
+  // Self-hosted mode: spin the server up in-process on a private socket.
+  std::unique_ptr<Server> Srv;
+  std::string Path = ConnectPath;
+  if (Path.empty()) {
+    const char *Tmp = std::getenv("TMPDIR");
+    Path = std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/slin-bench-service-" +
+           std::to_string(static_cast<long>(::getpid())) + ".sock";
+    ServerConfig Cfg;
+    Cfg.UnixPath = Path;
+    Cfg.Service.Graphs = {GraphA, GraphB};
+    if (Status St = (Srv = std::make_unique<Server>(Cfg))->start();
+        !St.isOk()) {
+      std::fprintf(stderr, "bench_service: %s\n", St.message().c_str());
+      return 1;
+    }
+  }
+
+  // One warm-up request per graph so compile/prefetch cost stays out of
+  // the measured window (the serving set is warm by design).
+  {
+    Expected<Client> EC = Client::connectUnix(Path);
+    if (!EC.hasValue()) {
+      std::fprintf(stderr, "bench_service: %s\n", EC.status().message().c_str());
+      return 1;
+    }
+    Client C = EC.take();
+    for (const char *G : {GraphA, GraphB}) {
+      RunRequest R;
+      R.Graph = G;
+      R.NOutputs = 128;
+      Expected<RunResponse> ER = C.run(R);
+      if (!ER.hasValue() || !ER.take().St.isOk()) {
+        std::fprintf(stderr, "bench_service: warmup run of %s failed\n", G);
+        return 1;
+      }
+    }
+  }
+
+  bench::JsonReport Report("service");
+  std::printf("%-24s %10s %10s %10s %10s %6s\n", "config", "p50 ms", "p99 ms",
+              "mean ms", "req/s", "fail");
+  bench::printRule();
+
+  std::vector<LoadConfig> Configs;
+  {
+    LoadConfig Throughput;
+    Throughput.Label = "mixed-throughput";
+    Configs.push_back(Throughput);
+    LoadConfig Latency;
+    Latency.Label = "mixed-latency";
+    Latency.Latency = true;
+    Configs.push_back(Latency);
+  }
+
+  int Exit = 0;
+  for (const LoadConfig &Cfg : Configs) {
+    LoadResult R = runLoad(Path, Cfg);
+    if (R.LatencyMs.empty() || R.Failures > 0) {
+      std::fprintf(stderr, "bench_service: %s: %d failures, %zu completions\n",
+                   Cfg.Label.c_str(), R.Failures, R.LatencyMs.size());
+      Exit = 1;
+      continue;
+    }
+    std::vector<double> Sorted = R.LatencyMs;
+    std::sort(Sorted.begin(), Sorted.end());
+    double P50 = percentile(Sorted, 0.50);
+    double P99 = percentile(Sorted, 0.99);
+    double Mean = 0.0;
+    for (double L : Sorted)
+      Mean += L;
+    Mean /= static_cast<double>(Sorted.size());
+    double Rps = static_cast<double>(Sorted.size()) / R.WallSeconds;
+
+    std::printf("%-24s %10.3f %10.3f %10.3f %10.1f %6d\n", Cfg.Label.c_str(),
+                P50, P99, Mean, Rps, R.Failures);
+    // Gate what is stable: latency mode exists to bound the tail, so its
+    // p99 is the gated headline. Throughput mode's p99 rides the
+    // queueing/CPU-contention hockey stick and flaps far beyond any
+    // sane threshold — its gate is the (tight) p50, with the observed
+    // tail reported under a name the comparator never gates.
+    if (Cfg.Latency)
+      Report.add(Cfg.Label, Engine::Compiled,
+                 {{"p99_ms", P99},
+                  {"p50_ms", P50},
+                  {"mean_ms", Mean},
+                  {"rps", Rps},
+                  {"requests", static_cast<double>(Sorted.size())}});
+    else
+      Report.add(Cfg.Label, Engine::Compiled,
+                 {{"p50_ms", P50},
+                  {"p99_info_ms", P99},
+                  {"mean_ms", Mean},
+                  {"rps", Rps},
+                  {"requests", static_cast<double>(Sorted.size())}});
+  }
+
+  if (Srv) {
+    Srv->stop();
+    Srv.reset();
+  }
+  return Exit;
+}

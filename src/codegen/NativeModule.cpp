@@ -6,6 +6,7 @@
 #include "compiler/Program.h"
 #include "compiler/StructuralHash.h"
 #include "support/FaultInjection.h"
+#include "support/StatsRegistry.h"
 
 #include <dlfcn.h>
 #include <unistd.h>
@@ -159,3 +160,19 @@ void NativeModuleCache::resetStats() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Counters = Stats();
 }
+
+namespace {
+/// Publishes the native-module cache's counters into the unified
+/// snapshot (support/StatsRegistry.h).
+const slin::StatsRegistry::Registration NativeCacheStatsReg(
+    "native-cache", [](slin::StatsRegistry::Counters &C) {
+      NativeModuleCache::Stats S = NativeModuleCache::global().stats();
+      C.emplace_back("mem_hits", S.MemHits);
+      C.emplace_back("misses", S.Misses);
+      C.emplace_back("disk_hits", S.DiskHits);
+      C.emplace_back("compiles", S.Compiles);
+      C.emplace_back("compile_failures", S.CompileFailures);
+      C.emplace_back("dlopen_failures", S.DlopenFailures);
+      C.emplace_back("degrades", S.Degrades);
+    });
+} // namespace

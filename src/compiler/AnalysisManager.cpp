@@ -3,6 +3,7 @@
 #include "compiler/AnalysisManager.h"
 
 #include "linear/Analysis.h"
+#include "support/StatsRegistry.h"
 
 #include <algorithm>
 
@@ -180,3 +181,20 @@ AnalysisManager::Stats AnalysisManager::stats() const {
   S.CombineEntries = Combinations.size();
   return S;
 }
+
+namespace {
+/// Publishes the analysis manager's counters into the unified snapshot
+/// (support/StatsRegistry.h).
+const StatsRegistry::Registration AnalysisStatsReg(
+    "analysis", [](StatsRegistry::Counters &C) {
+      AnalysisManager::Stats S = AnalysisManager::global().stats();
+      C.emplace_back("extraction_hits", S.ExtractionHits);
+      C.emplace_back("extraction_misses", S.ExtractionMisses);
+      C.emplace_back("combine_hits", S.CombineHits);
+      C.emplace_back("combine_misses", S.CombineMisses);
+      C.emplace_back("extraction_evictions", S.ExtractionEvictions);
+      C.emplace_back("combine_evictions", S.CombineEvictions);
+      C.emplace_back("extraction_entries", S.ExtractionEntries);
+      C.emplace_back("combine_entries", S.CombineEntries);
+    });
+} // namespace

@@ -7,7 +7,9 @@
 #include "opt/LinearReplacement.h"
 #include "support/Diag.h"
 #include "support/FaultInjection.h"
+#include "support/RuntimeConfig.h"
 #include "support/Serialize.h"
+#include "support/StatsRegistry.h"
 
 #include <algorithm>
 #include <atomic>
@@ -1089,10 +1091,9 @@ ArtifactStore::ArtifactStore(std::string Directory)
     : Dir(std::move(Directory)) {
   ensureBuiltinFactories();
   makeDirs(Dir);
-  if (const char *V = std::getenv("SLIN_STORE_MAX_BYTES"))
-    MaxBytes = std::strtoull(V, nullptr, 10);
-  if (const char *V = std::getenv("SLIN_STORE_TTL_S"))
-    TtlSeconds = std::strtoll(V, nullptr, 10);
+  const RuntimeConfig C = RuntimeConfig::current();
+  MaxBytes = C.StoreMaxBytes;
+  TtlSeconds = C.StoreTtlSeconds;
   sweepNow();
 }
 
@@ -1113,17 +1114,23 @@ ArtifactStore *ArtifactStore::global() {
   std::lock_guard<std::mutex> Lock(G.Mutex);
   if (!G.Resolved) {
     G.Resolved = true;
-    const char *Dir = std::getenv("SLIN_ARTIFACT_DIR");
-    if (Dir && *Dir)
+    std::string Dir = RuntimeConfig::current().ArtifactDir;
+    if (!Dir.empty())
       G.Store = std::make_unique<ArtifactStore>(Dir);
   }
   return G.Store.get();
 }
 
+ArtifactStore *ArtifactStore::globalPeek() {
+  GlobalStore &G = globalStore();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  return G.Store.get();
+}
+
 ArtifactStore *ArtifactStore::enabledGlobal() {
-  // The cache kill-switch disables the disk tier too (checked per call:
-  // tests flip it at runtime).
-  if (std::getenv("SLIN_NO_CACHE"))
+  // The cache kill-switch disables the disk tier too (tests flip it at
+  // runtime and refresh the config snapshot).
+  if (RuntimeConfig::current().NoCache)
     return nullptr;
   return global();
 }
@@ -1617,3 +1624,27 @@ uint64_t ArtifactStore::evictForSpace(uint64_t BytesNeeded,
   }
   return Freed;
 }
+
+namespace {
+/// Publishes the resolved global store's counters into the unified
+/// snapshot. Uses globalPeek(): a stats request must not resolve the
+/// environment or mkdir a store directory as a side effect.
+const StatsRegistry::Registration ArtifactStoreStatsReg(
+    "artifact-store", [](StatsRegistry::Counters &C) {
+      ArtifactStore *Store = ArtifactStore::globalPeek();
+      if (!Store)
+        return;
+      ArtifactStore::Stats S = Store->stats();
+      C.emplace_back("hits", S.Hits);
+      C.emplace_back("misses", S.Misses);
+      C.emplace_back("stores", S.Stores);
+      C.emplace_back("load_failures", S.LoadFailures);
+      C.emplace_back("alias_hits", S.AliasHits);
+      C.emplace_back("publish_failures", S.PublishFailures);
+      C.emplace_back("io_retries", S.IoRetries);
+      C.emplace_back("tmp_swept", S.TmpSwept);
+      C.emplace_back("evictions", S.Evictions);
+      C.emplace_back("evicted_bytes", S.EvictedBytes);
+      C.emplace_back("object_stores", S.ObjectStores);
+    });
+} // namespace

@@ -71,6 +71,11 @@ public:
   /// once, on first use); null when the variable is unset or empty.
   static ArtifactStore *global();
 
+  /// The already-resolved process-global store, or null — never
+  /// resolves the environment or creates the directory. Stats
+  /// snapshots use this so observing the process has no side effects.
+  static ArtifactStore *globalPeek();
+
   /// global(), unless SLIN_NO_CACHE is set (checked per call: the cache
   /// kill-switch must also bypass the disk tier).
   static ArtifactStore *enabledGlobal();

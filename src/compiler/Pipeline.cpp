@@ -13,6 +13,7 @@
 #include "opt/Selection.h"
 #include "support/Diag.h"
 #include "support/FaultInjection.h"
+#include "support/RuntimeConfig.h"
 #include "verify/Lint.h"
 
 #include <chrono>
@@ -39,11 +40,7 @@ const char *slin::optModeName(OptMode M) {
 }
 
 bool slin::defaultVerifyAfterEachPass() {
-  static const bool On = [] {
-    const char *V = std::getenv("SLIN_VERIFY");
-    return V && *V && std::strcmp(V, "0") != 0;
-  }();
-  return On;
+  return RuntimeConfig::current().Verify;
 }
 
 double CompileResult::totalSeconds() const {

@@ -4,6 +4,7 @@
 
 #include "compiler/ArtifactStore.h"
 #include "compiler/StructuralHash.h"
+#include "support/StatsRegistry.h"
 
 #include <chrono>
 #include <cmath>
@@ -343,3 +344,44 @@ void ProgramCache::resetStats() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Counters = Stats();
 }
+
+size_t ProgramCache::prefetchFrom(ArtifactStore &Store) {
+  size_t Loaded = 0;
+  for (const ArtifactStore::Key &K : Store.listArtifacts()) {
+    Key CK{K.Structure, K.Options};
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Entries.count(CK))
+        continue;
+    }
+    CompiledProgramRef P = Store.load(K);
+    if (!P)
+      continue;
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto Inserted = Entries.emplace(
+        CK, Entry{std::move(P), ++UseClock, /*Published=*/true});
+    if (Inserted.second) {
+      ++Loaded;
+      evictToCapacityLocked();
+    }
+  }
+  return Loaded;
+}
+
+namespace {
+/// Publishes the program cache's counters into the unified snapshot
+/// (support/StatsRegistry.h) for the service daemon's stats request
+/// and slin-lint --stats.
+const StatsRegistry::Registration ProgramCacheStatsReg(
+    "program-cache", [](StatsRegistry::Counters &C) {
+      ProgramCache::Stats S = ProgramCache::global().stats();
+      C.emplace_back("hits", S.Hits);
+      C.emplace_back("misses", S.Misses);
+      C.emplace_back("evictions", S.Evictions);
+      C.emplace_back("entries", S.Entries);
+      C.emplace_back("disk_hits", S.DiskHits);
+      C.emplace_back("disk_misses", S.DiskMisses);
+      C.emplace_back("disk_stores", S.DiskStores);
+      C.emplace_back("disk_store_failures", S.DiskStoreFailures);
+    });
+} // namespace

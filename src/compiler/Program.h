@@ -37,6 +37,8 @@
 
 namespace slin {
 
+class ArtifactStore;
+
 class CompiledProgram {
 public:
   /// Per-filter compiled form: op tapes for IR filters, a prototype for
@@ -172,6 +174,14 @@ public:
   /// null on miss — never compiles. The pipeline's alias fast path.
   CompiledProgramRef lookup(const HashDigest &Structure,
                             const HashDigest &OptsDigest);
+
+  /// Loads every valid artifact in \p Store into the memory tier — the
+  /// service daemon's startup prefetch, so a configured serving set is
+  /// warm (zero compile passes) before the first request arrives.
+  /// Artifacts that fail validation and keys already cached are
+  /// skipped; no hit/miss counters move (a prefetch is not a request).
+  /// Returns the number of programs loaded.
+  size_t prefetchFrom(ArtifactStore &Store);
 
   void clear();
   void setCapacity(size_t N);

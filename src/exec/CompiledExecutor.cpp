@@ -539,3 +539,57 @@ void CompiledExecutor::run(size_t NOutputs) {
   if (Status St = tryRun(NOutputs); !St.isOk())
     fatalError(St.message());
 }
+
+Status CompiledExecutor::tryRunLatency(size_t NOutputs,
+                                       const faults::RunDeadline *DL,
+                                       double *FirstOutputSeconds) {
+  const auto Start = std::chrono::steady_clock::now();
+  const size_t Initial = outputsProduced();
+  bool FirstSeen = false;
+  auto NoteFirstOutput = [&] {
+    if (FirstSeen || outputsProduced() <= Initial)
+      return;
+    FirstSeen = true;
+    if (FirstOutputSeconds)
+      *FirstOutputSeconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Start)
+              .count();
+  };
+  if (outputsProduced() >= NOutputs)
+    return Status::ok();
+  if (!InitDone) {
+    if (extInAvailable() < static_cast<size_t>(Sched.InitExternalNeed))
+      return Status(ErrorCode::Deadlock,
+                    "stream graph deadlocked: initialization needs " +
+                        std::to_string(Sched.InitExternalNeed) +
+                        " external input items, have " +
+                        std::to_string(extInAvailable()));
+    runProgram(Sched.InitProgram);
+    compact();
+    InitDone = true;
+    NoteFirstOutput();
+  }
+  while (outputsProduced() < NOutputs) {
+    if (Status St = checkDeadline(DL); !St.isOk())
+      return St;
+    size_t Before = outputsProduced();
+    if (extInAvailable() < static_cast<size_t>(Sched.SteadyExternalNeed))
+      return Status(
+          ErrorCode::Deadlock,
+          "stream graph deadlocked: a steady-state iteration needs " +
+              std::to_string(Sched.SteadyExternalNeed) +
+              " external input items, have " +
+              std::to_string(extInAvailable()) + " (needed " +
+              std::to_string(NOutputs) + " outputs, have " +
+              std::to_string(outputsProduced()) + ")");
+    runProgram(Sched.SteadyProgram);
+    compact();
+    if (outputsProduced() == Before)
+      return Status(ErrorCode::Deadlock,
+                    "stream graph deadlocked: steady state produces no "
+                    "observable output");
+    NoteFirstOutput();
+  }
+  return Status::ok();
+}

@@ -101,6 +101,18 @@ public:
   Status tryRunIterations(int64_t Iters,
                           const faults::RunDeadline *DL = nullptr);
 
+  /// Latency-mode tryRun: fires single steady iterations only — never
+  /// the fused B-iteration batch program — so the first observable
+  /// output lands after one iteration's work instead of a whole
+  /// batch's. Outputs are bit-identical to tryRun's (the batch program
+  /// replays the same firing sequence); only the time-to-first-output
+  /// changes. \p FirstOutputSeconds (optional) receives the wall-clock
+  /// seconds from this call's entry to the first new observable
+  /// output. The service daemon's latency serving mode.
+  Status tryRunLatency(size_t NOutputs,
+                       const faults::RunDeadline *DL = nullptr,
+                       double *FirstOutputSeconds = nullptr);
+
   /// Places this (freshly instantiated) executor at the state boundary of
   /// steady iteration \p StartIteration without executing iterations
   /// 0..StartIteration-1: channels are filled to their post-init live

@@ -500,7 +500,17 @@ std::future<ExecutorPool::Result> ExecutorPool::submit(Request R) {
 
 uint64_t ExecutorPool::served() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Served;
+  return Counters.Served;
+}
+
+ExecutorPool::Stats ExecutorPool::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
+size_t ExecutorPool::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Queue.size();
 }
 
 void ExecutorPool::workerLoop() {
@@ -514,22 +524,51 @@ void ExecutorPool::workerLoop() {
       J = std::move(Queue.front());
       Queue.pop_front();
     }
-    CompiledExecutor E(Prog);
-    E.provideInput(J.Req.Input);
+    faults::RunDeadline DL =
+        faults::RunDeadline::afterMillis(J.Req.DeadlineMillis);
+    const faults::RunDeadline *DLP = J.Req.DeadlineMillis > 0 ? &DL : nullptr;
+    Result R;
     OpCounts Before = ops::counts();
+    auto Start = std::chrono::steady_clock::now();
     {
       ops::CountingScope Scope(J.Req.CountOps);
-      E.run(J.Req.NOutputs);
+      if (J.Req.Eng == Engine::Parallel && !J.Req.Latency) {
+        ParallelExecutor E(Prog);
+        E.provideInput(J.Req.Input);
+        R.St = E.tryRun(J.Req.NOutputs, DLP);
+        if (R.St.isOk())
+          R.Outputs = Prog->graph().RootProducesOutput ? E.outputSnapshot()
+                                                       : E.printed();
+      } else {
+        // Compiled and Native share the executor; a null module IS the
+        // op-tape engine. Latency mode always runs here (see Request).
+        CompiledExecutor E(Prog, J.Req.Native);
+        E.provideInput(J.Req.Input);
+        R.St = J.Req.Latency
+                   ? E.tryRunLatency(J.Req.NOutputs, DLP,
+                                     &R.FirstOutputSeconds)
+                   : E.tryRun(J.Req.NOutputs, DLP);
+        if (R.St.isOk())
+          R.Outputs = Prog->graph().RootProducesOutput ? E.outputSnapshot()
+                                                       : E.printed();
+      }
     }
-    Result R;
+    R.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
     R.Ops = ops::counts() - Before;
-    R.Outputs = Prog->graph().RootProducesOutput ? E.outputSnapshot()
-                                                 : E.printed();
     {
       // Count before fulfilling: a caller that observed the future must
       // also observe the increment.
       std::lock_guard<std::mutex> Lock(Mutex);
-      ++Served;
+      if (R.St.isOk())
+        ++Counters.Served;
+      else if (R.St.code() == ErrorCode::Timeout ||
+               R.St.code() == ErrorCode::Cancelled)
+        ++Counters.Timeouts;
+      else
+        ++Counters.Failures;
     }
     J.Promise.set_value(std::move(R));
   }

@@ -33,6 +33,7 @@
 #ifndef SLIN_EXEC_PARALLEL_H
 #define SLIN_EXEC_PARALLEL_H
 
+#include "codegen/NativeModule.h"
 #include "compiler/Program.h"
 #include "exec/ExecOptions.h"
 #include "support/Error.h"
@@ -166,10 +167,40 @@ public:
     std::vector<double> Input;
     size_t NOutputs = 0;
     bool CountOps = false; ///< fill Result::Ops (adds counting overhead)
+
+    /// Serving extensions (src/service/): per-request engine selection,
+    /// deadline and latency-mode firing. The defaults reproduce the
+    /// original pool behaviour (throughput-batched compiled engine, no
+    /// deadline).
+    ///
+    /// Compiled runs the op tapes; Native runs \p Native when non-null
+    /// (the caller resolves the module — a null module IS the compiled
+    /// engine, the degradation ladder's last rung); Parallel runs the
+    /// sharded backend, which itself falls back to an equivalent
+    /// sequential run on shard anomalies. Dynamic is not a pool engine
+    /// and is served as Compiled.
+    Engine Eng = Engine::Compiled;
+    codegen::NativeModuleRef Native; ///< pre-resolved Engine::Native module
+    int64_t DeadlineMillis = 0;      ///< > 0: wall-clock run deadline
+    /// Latency mode: single steady iterations (bounded
+    /// time-to-first-output) instead of fused batches. Runs on a
+    /// CompiledExecutor even for Eng == Parallel — sharding is a
+    /// throughput device and cannot bound the first output.
+    bool Latency = false;
   };
   struct Result {
+    Status St; ///< non-Ok (Deadlock/Timeout/Cancelled): Outputs unusable
     std::vector<double> Outputs; ///< external channel (or printed) values
     OpCounts Ops;
+    double Seconds = 0.0; ///< wall-clock of the run itself (queue excluded)
+    double FirstOutputSeconds = 0.0; ///< latency mode: time to first output
+  };
+
+  /// Outcome counters, snapshotted under the pool lock.
+  struct Stats {
+    uint64_t Served = 0;   ///< requests completed Ok
+    uint64_t Timeouts = 0; ///< Timeout/Cancelled results
+    uint64_t Failures = 0; ///< every other non-Ok result
   };
 
   /// \p Workers = 0 uses the program's parallel options (and 0 there
@@ -184,6 +215,11 @@ public:
 
   int workers() const { return static_cast<int>(Threads.size()); }
   uint64_t served() const;
+  Stats stats() const;
+
+  /// Queued (not yet started) requests — the admission layer's
+  /// queue-depth signal.
+  size_t queueDepth() const;
 
 private:
   struct Job {
@@ -197,7 +233,7 @@ private:
   std::condition_variable Ready;
   std::deque<Job> Queue;
   bool Stopping = false;
-  uint64_t Served = 0;
+  Stats Counters;
   std::vector<std::thread> Threads;
 };
 

@@ -1,0 +1,139 @@
+//===- service/Client.cpp - Blocking service client -----------------------===//
+///
+/// \file
+/// Socket setup and request round-trips behind service/Client.h.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace slin;
+using namespace slin::service;
+
+namespace {
+
+Status ioError(const std::string &What) {
+  return Status(ErrorCode::IoError, What + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+Client::~Client() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Client &Client::operator=(Client &&O) noexcept {
+  if (this != &O) {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+Expected<Client> Client::connectUnix(const std::string &Path) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return Status(ErrorCode::Internal, "unix socket path too long: " + Path);
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return ioError("socket(unix)");
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Status St = ioError("connect " + Path);
+    ::close(Fd);
+    return St;
+  }
+  return Client(Fd);
+}
+
+Expected<Client> Client::connectTcp(int Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return ioError("socket(tcp)");
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Status St = ioError("connect 127.0.0.1:" + std::to_string(Port));
+    ::close(Fd);
+    return St;
+  }
+  return Client(Fd);
+}
+
+Expected<Response> Client::roundTrip(const Request &Req) {
+  if (Fd < 0)
+    return Status(ErrorCode::Internal, "client is not connected");
+  serial::Writer W;
+  encodeRequest(W, Req);
+  if (Status St = writeFrame(Fd, W.bytes()); !St.isOk())
+    return St;
+  std::vector<uint8_t> Payload;
+  if (Status St = readFrame(Fd, Payload); !St.isOk())
+    return St;
+  Expected<Response> ER = decodeResponse(Payload);
+  if (!ER.hasValue())
+    return ER.status();
+  Response Resp = ER.take();
+  // An error reply to a request the server could not decode echoes
+  // Ping; accept the kind mismatch only when it carries that failure.
+  if (Resp.Kind != Req.Kind && Resp.St.isOk())
+    return Status(ErrorCode::Corrupt, "response kind does not echo request");
+  if (!Resp.St.isOk())
+    return Resp.St;
+  return Resp;
+}
+
+Status Client::ping() {
+  Request Req;
+  Req.Kind = MsgKind::Ping;
+  Expected<Response> R = roundTrip(Req);
+  return R.hasValue() ? Status::ok() : R.status();
+}
+
+Expected<RunResponse> Client::run(const RunRequest &RR) {
+  Request Req;
+  Req.Kind = MsgKind::Run;
+  Req.Run = RR;
+  Expected<Response> R = roundTrip(Req);
+  if (!R.hasValue())
+    return R.status();
+  return R.take().Run;
+}
+
+Expected<StatsRegistry::Counters> Client::stats() {
+  Request Req;
+  Req.Kind = MsgKind::Stats;
+  Expected<Response> R = roundTrip(Req);
+  if (!R.hasValue())
+    return R.status();
+  return R.take().Counters;
+}
+
+Expected<std::vector<std::string>> Client::listGraphs() {
+  Request Req;
+  Req.Kind = MsgKind::ListGraphs;
+  Expected<Response> R = roundTrip(Req);
+  if (!R.hasValue())
+    return R.status();
+  return R.take().Graphs;
+}
+
+Status Client::shutdownServer() {
+  Request Req;
+  Req.Kind = MsgKind::Shutdown;
+  Expected<Response> R = roundTrip(Req);
+  return R.hasValue() ? Status::ok() : R.status();
+}

@@ -1,0 +1,188 @@
+//===- service/Server.cpp - Stream service daemon core --------------------===//
+///
+/// \file
+/// Listener setup, accept loop and shutdown sequencing behind
+/// service/Server.h.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "service/Session.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <chrono>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace slin;
+using namespace slin::service;
+
+namespace {
+
+Status ioError(const std::string &What) {
+  return Status(ErrorCode::IoError, What + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+Server::Server(ServerConfig C) : Cfg(std::move(C)), Adm(Cfg.Service) {}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (Started)
+    return Status(ErrorCode::Internal, "server already started");
+
+  if (Status St = Adm.start(); !St.isOk())
+    return St;
+
+  if (!Cfg.UnixPath.empty()) {
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (Cfg.UnixPath.size() >= sizeof(Addr.sun_path))
+      return Status(ErrorCode::Internal,
+                    "unix socket path too long: " + Cfg.UnixPath);
+    std::strncpy(Addr.sun_path, Cfg.UnixPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return ioError("socket(unix)");
+    ::unlink(Cfg.UnixPath.c_str()); // replace any stale socket file
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) < 0) {
+      Status St = ioError("bind " + Cfg.UnixPath);
+      ::close(ListenFd);
+      ListenFd = -1;
+      return St;
+    }
+  } else if (Cfg.TcpPort >= 0) {
+    ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return ioError("socket(tcp)");
+    int One = 1;
+    ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // never a real network
+    Addr.sin_port = htons(static_cast<uint16_t>(Cfg.TcpPort));
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) < 0) {
+      Status St = ioError("bind 127.0.0.1:" + std::to_string(Cfg.TcpPort));
+      ::close(ListenFd);
+      ListenFd = -1;
+      return St;
+    }
+    sockaddr_in Bound{};
+    socklen_t Len = sizeof(Bound);
+    if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Bound), &Len) ==
+        0)
+      ResolvedPort = ntohs(Bound.sin_port);
+  } else {
+    return Status(ErrorCode::Internal,
+                  "server config names neither a unix path nor a TCP port");
+  }
+
+  if (::listen(ListenFd, 64) < 0) {
+    Status St = ioError("listen");
+    ::close(ListenFd);
+    ListenFd = -1;
+    return St;
+  }
+
+  Started = true;
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return Status::ok();
+}
+
+void Server::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // listener closed (stop()) or fatally broken
+    }
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stopping) {
+      ::close(Fd);
+      return;
+    }
+    SessionFds.push_back(Fd);
+    // The session thread owns Fd: it alone closes it, so stop() can
+    // safely shutdown() a socket a session is mid-read on without the
+    // descriptor being recycled under that thread.
+    SessionThreads.emplace_back([this, Fd] {
+      serveSession(Fd, Adm, [this] { requestShutdown(); });
+      {
+        std::lock_guard<std::mutex> L(Mutex);
+        auto It = std::find(SessionFds.begin(), SessionFds.end(), Fd);
+        if (It != SessionFds.end())
+          SessionFds.erase(It);
+      }
+      ::close(Fd);
+    });
+  }
+}
+
+void Server::requestShutdown() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ShutdownFlag = true;
+  ShutdownCv.notify_all();
+}
+
+void Server::waitForShutdown(const std::function<bool()> &AlsoStop) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (!ShutdownFlag) {
+    if (AlsoStop) {
+      ShutdownCv.wait_for(Lock, std::chrono::milliseconds(200));
+      if (AlsoStop())
+        return;
+    } else {
+      ShutdownCv.wait(Lock);
+    }
+  }
+}
+
+void Server::stop() {
+  if (!Started)
+    return;
+
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stopping)
+      return;
+    Stopping = true;
+    // Wake blocked session reads; each thread exits its frame loop and
+    // closes its own descriptor.
+    for (int Fd : SessionFds)
+      ::shutdown(Fd, SHUT_RDWR);
+    Threads.swap(SessionThreads);
+  }
+
+  // Closing the listener pops the acceptor out of accept().
+  ::shutdown(ListenFd, SHUT_RDWR);
+  ::close(ListenFd);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  {
+    // Sessions accepted in the window before Stopping was observed.
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (int Fd : SessionFds)
+      ::shutdown(Fd, SHUT_RDWR);
+    for (auto &T : SessionThreads)
+      Threads.push_back(std::move(T));
+    SessionThreads.clear();
+  }
+  for (auto &T : Threads)
+    if (T.joinable())
+      T.join();
+  if (!Cfg.UnixPath.empty())
+    ::unlink(Cfg.UnixPath.c_str());
+  ListenFd = -1;
+}

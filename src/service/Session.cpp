@@ -1,0 +1,71 @@
+//===- service/Session.cpp - One client connection ------------------------===//
+///
+/// \file
+/// Frame loop and request dispatch behind service/Session.h.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Session.h"
+
+#include "service/Admission.h"
+#include "service/Protocol.h"
+#include "support/StatsRegistry.h"
+
+using namespace slin;
+using namespace slin::service;
+
+namespace {
+
+Status sendResponse(int Fd, const Response &Resp) {
+  serial::Writer W;
+  encodeResponse(W, Resp);
+  return writeFrame(Fd, W.bytes());
+}
+
+} // namespace
+
+void service::serveSession(int Fd, Admission &Adm,
+                           const std::function<void()> &OnShutdown) {
+  std::vector<uint8_t> Payload;
+  for (;;) {
+    bool Closed = false;
+    if (!readFrame(Fd, Payload, &Closed).isOk())
+      return; // clean close, torn frame or dead socket alike: done
+
+    Expected<Request> ER = decodeRequest(Payload);
+    if (!ER.hasValue()) {
+      // The stream is no longer trustworthy; report why, then hang up.
+      Response Err;
+      Err.Kind = MsgKind::Ping;
+      Err.St = ER.status();
+      (void)sendResponse(Fd, Err);
+      return;
+    }
+    Request Req = ER.take();
+
+    Response Resp;
+    Resp.Kind = Req.Kind;
+    switch (Req.Kind) {
+    case MsgKind::Ping:
+      break;
+    case MsgKind::Run:
+      // Transport-level St stays Ok: the run's outcome — timeout,
+      // overload, deadlock — travels in Run.St.
+      Resp.Run = Adm.run(Req.Run);
+      break;
+    case MsgKind::Stats:
+      Resp.Counters = StatsRegistry::global().snapshot();
+      break;
+    case MsgKind::ListGraphs:
+      Resp.Graphs = Adm.graphs();
+      break;
+    case MsgKind::Shutdown:
+      (void)sendResponse(Fd, Resp);
+      if (OnShutdown)
+        OnShutdown();
+      return;
+    }
+    if (!sendResponse(Fd, Resp).isOk())
+      return;
+  }
+}

@@ -1,0 +1,39 @@
+//===- service/Session.h - One client connection ----------------*- C++ -*-===//
+///
+/// \file
+/// The per-connection request loop: read a frame, decode, dispatch
+/// (Ping / Run via the admission layer / Stats via the unified
+/// registry / ListGraphs / Shutdown), reply. One session is one
+/// client; sessions run on their own threads (the Server owns them)
+/// and requests within a session are sequential — concurrency comes
+/// from concurrent connections, mirroring how a load generator drives
+/// the daemon.
+///
+/// A malformed frame earns an error reply and a closed connection
+/// (the stream can no longer be trusted); a request whose *execution*
+/// fails earns a normal reply carrying the non-Ok Status — the
+/// connection survives, because containment is the service contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SERVICE_SESSION_H
+#define SLIN_SERVICE_SESSION_H
+
+#include <functional>
+
+namespace slin {
+namespace service {
+
+class Admission;
+
+/// Serves one accepted connection until the peer closes, the stream
+/// turns malformed, or a Shutdown request arrives. \p OnShutdown is
+/// invoked (after the acknowledging reply) when the client asks the
+/// daemon to exit. Does not close \p Fd — the accept loop owns it.
+void serveSession(int Fd, Admission &Adm,
+                  const std::function<void()> &OnShutdown);
+
+} // namespace service
+} // namespace slin
+
+#endif // SLIN_SERVICE_SESSION_H

@@ -30,6 +30,8 @@ const char *slin::errorCodeName(ErrorCode C) {
     return "cancelled";
   case ErrorCode::ShardAnomaly:
     return "shard-anomaly";
+  case ErrorCode::Overloaded:
+    return "overloaded";
   case ErrorCode::Internal:
     return "internal";
   }

@@ -49,6 +49,7 @@ enum class ErrorCode {
   Timeout,        ///< run deadline expired
   Cancelled,      ///< cancellation token fired
   ShardAnomaly,   ///< parallel shard seeding failed validation
+  Overloaded,     ///< service admission refused: queue depth exceeded
   Internal,       ///< none of the above; message has the story
 };
 

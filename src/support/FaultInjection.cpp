@@ -2,6 +2,8 @@
 
 #include "support/FaultInjection.h"
 
+#include "support/RuntimeConfig.h"
+
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
@@ -108,10 +110,11 @@ uint64_t slin::faults::hitCount(Point P) {
 
 void slin::faults::armFromEnv() {
   std::call_once(envOnce(), [] {
-    const char *Spec = std::getenv("SLIN_FAULT");
-    if (!Spec || !*Spec)
+    // A live parse (not the process snapshot): fault arming must see
+    // the SLIN_FAULT a test exported just before the first hit.
+    std::string S = RuntimeConfig::fromEnv().FaultSpec;
+    if (S.empty())
       return;
-    std::string S(Spec);
     size_t Pos = 0;
     while (Pos < S.size()) {
       size_t Comma = S.find(',', Pos);
@@ -175,8 +178,7 @@ RunDeadline slin::faults::RunDeadline::afterMillis(int64_t Millis) {
 }
 
 RunDeadline slin::faults::RunDeadline::fromEnv() {
-  const char *V = std::getenv("SLIN_RUN_DEADLINE_MS");
-  if (!V || !*V)
-    return RunDeadline();
-  return afterMillis(std::strtoll(V, nullptr, 10));
+  // Deliberately a live per-call parse: a deadline exported mid-process
+  // (or cleared) must apply to the next run, with no refresh step.
+  return afterMillis(RuntimeConfig::fromEnv().RunDeadlineMillis);
 }

@@ -1,0 +1,103 @@
+//===- support/RuntimeConfig.cpp - Typed SLIN_* runtime configuration -----===//
+///
+/// \file
+/// Environment parsing and the refreshable process snapshot behind
+/// support/RuntimeConfig.h.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/RuntimeConfig.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+using namespace slin;
+
+namespace {
+
+std::string envString(const char *Name) {
+  const char *V = std::getenv(Name);
+  return V ? V : "";
+}
+
+/// Flag knobs count any non-empty value as set (the historical
+/// behaviour of every `getenv(...) != nullptr` site — "0" disables only
+/// where the old parse said so, which was SLIN_VERIFY alone).
+bool envFlag(const char *Name) {
+  const char *V = std::getenv(Name);
+  return V && *V;
+}
+
+struct GlobalConfig {
+  std::mutex Mutex;
+  bool Parsed = false;
+  RuntimeConfig Config;
+};
+
+GlobalConfig &globalConfig() {
+  static GlobalConfig G;
+  return G;
+}
+
+} // namespace
+
+RuntimeConfig RuntimeConfig::fromEnv() {
+  RuntimeConfig C;
+  C.ArtifactDir = envString("SLIN_ARTIFACT_DIR");
+  // Historically any set value (even empty) disabled the caches; keep
+  // exactly that so SLIN_NO_CACHE= behaves as before.
+  C.NoCache = std::getenv("SLIN_NO_CACHE") != nullptr;
+  if (const char *V = std::getenv("SLIN_STORE_MAX_BYTES"))
+    C.StoreMaxBytes = std::strtoull(V, nullptr, 10);
+  if (const char *V = std::getenv("SLIN_STORE_TTL_S"))
+    C.StoreTtlSeconds = std::strtoll(V, nullptr, 10);
+  if (const char *V = std::getenv("SLIN_VERIFY"))
+    C.Verify = *V && std::strcmp(V, "0") != 0;
+  C.Cxx = envString("SLIN_CXX");
+  C.NoNative = envFlag("SLIN_NO_NATIVE");
+  if (const char *V = std::getenv("SLIN_RUN_DEADLINE_MS"))
+    if (*V)
+      C.RunDeadlineMillis = std::strtoll(V, nullptr, 10);
+  C.FaultSpec = envString("SLIN_FAULT");
+  C.BenchDir = envString("SLIN_BENCH_DIR");
+  return C;
+}
+
+RuntimeConfig RuntimeConfig::current() {
+  GlobalConfig &G = globalConfig();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  if (!G.Parsed) {
+    G.Parsed = true;
+    G.Config = fromEnv();
+  }
+  return G.Config;
+}
+
+void RuntimeConfig::refreshFromEnv() {
+  RuntimeConfig Fresh = fromEnv();
+  GlobalConfig &G = globalConfig();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  G.Parsed = true;
+  G.Config = std::move(Fresh);
+}
+
+void RuntimeConfig::set(const RuntimeConfig &C) {
+  GlobalConfig &G = globalConfig();
+  std::lock_guard<std::mutex> Lock(G.Mutex);
+  G.Parsed = true;
+  G.Config = C;
+}
+
+RuntimeConfig RuntimeConfig::withOverrides(const Overrides &O) const {
+  RuntimeConfig C = *this;
+  if (O.RunDeadlineMillis)
+    C.RunDeadlineMillis = *O.RunDeadlineMillis;
+  if (O.NoCache)
+    C.NoCache = *O.NoCache;
+  if (O.NoNative)
+    C.NoNative = *O.NoNative;
+  if (O.Verify)
+    C.Verify = *O.Verify;
+  return C;
+}

@@ -1,0 +1,68 @@
+//===- support/StatsRegistry.cpp - Unified counter snapshot interface -----===//
+///
+/// \file
+/// The provider registry and snapshot/JSON rendering behind
+/// support/StatsRegistry.h.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/StatsRegistry.h"
+
+#include <algorithm>
+
+using namespace slin;
+
+StatsRegistry &StatsRegistry::global() {
+  // Deliberately leaked: Registration dtors in other translation units
+  // run at exit in an order the registry must survive.
+  static StatsRegistry *R = new StatsRegistry();
+  return *R;
+}
+
+int StatsRegistry::addProvider(std::string Prefix, Provider Fn) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  int Id = NextId++;
+  Providers.push_back({Id, std::move(Prefix), std::move(Fn)});
+  return Id;
+}
+
+void StatsRegistry::removeProvider(int Id) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (size_t I = 0; I != Providers.size(); ++I) {
+    if (Providers[I].Id != Id)
+      continue;
+    Providers.erase(Providers.begin() + static_cast<ptrdiff_t>(I));
+    return;
+  }
+}
+
+StatsRegistry::Counters StatsRegistry::snapshot() const {
+  // Copy the provider list, then run the closures unlocked: a provider
+  // is free to take subsystem locks (cache mutexes) that its owner may
+  // hold while registering.
+  std::vector<Entry> Copy;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Copy = Providers;
+  }
+  Counters Out;
+  for (const Entry &E : Copy) {
+    Counters Local;
+    E.Fn(Local);
+    for (auto &KV : Local)
+      Out.emplace_back(E.Prefix + "." + KV.first, KV.second);
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::string StatsRegistry::json(const Counters &C) {
+  std::string Out = "{";
+  for (size_t I = 0; I != C.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += "\"" + C[I].first + "\":" + std::to_string(C[I].second);
+  }
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,103 @@
+//===- support/StatsRegistry.h - Unified counter snapshot interface -*- C++ -*-===//
+///
+/// \file
+/// One snapshot interface over every counter the system maintains. The
+/// subsystems each kept their own `Stats` struct (`ProgramCache`,
+/// `ArtifactStore`, `NativeModuleCache`, `AnalysisManager`, the
+/// executor pools) — fine for unit tests, useless for a service that
+/// must answer "what is this process doing" in one request. Providers
+/// register a prefix plus a closure that appends `(name, value)` pairs;
+/// `snapshot()` runs them all and returns the merged, sorted,
+/// dot-qualified counter map (`program-cache.hits`,
+/// `artifact-store.evictions`, `service.requests`, ...). The daemon's
+/// `stats` request and `slin-lint --stats` both consume it; `json()`
+/// renders a snapshot as a flat JSON object.
+///
+/// Built-in subsystems self-register from their own .cpp at static
+/// init (a `StatsRegistry::Registration` file-static); dynamic sources
+/// (the daemon's per-graph pools) hold a `Registration` member so the
+/// provider unregisters with its owner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SUPPORT_STATSREGISTRY_H
+#define SLIN_SUPPORT_STATSREGISTRY_H
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slin {
+
+class StatsRegistry {
+public:
+  /// A flat counter map: dot-qualified name -> value, sorted by name.
+  using Counters = std::vector<std::pair<std::string, uint64_t>>;
+
+  /// Appends this source's counters (bare names; the registry
+  /// qualifies them with the registered prefix).
+  using Provider = std::function<void(Counters &)>;
+
+  /// The process-wide registry. Never destroyed: provider
+  /// registrations from other translation units may outlive any exit
+  /// ordering the linker picks.
+  static StatsRegistry &global();
+
+  /// Registers \p Fn under \p Prefix; returns an id for removeProvider.
+  int addProvider(std::string Prefix, Provider Fn);
+  void removeProvider(int Id);
+
+  /// Runs every provider and returns the merged sorted counter map.
+  Counters snapshot() const;
+
+  /// Renders a snapshot as one flat JSON object.
+  static std::string json(const Counters &C);
+
+  /// RAII provider registration: registers on construction,
+  /// unregisters on destruction.
+  class Registration {
+  public:
+    Registration() = default;
+    Registration(std::string Prefix, Provider Fn)
+        : Id(global().addProvider(std::move(Prefix), std::move(Fn))) {}
+    Registration(Registration &&O) noexcept : Id(O.Id) { O.Id = 0; }
+    Registration &operator=(Registration &&O) noexcept {
+      if (this != &O) {
+        reset();
+        Id = O.Id;
+        O.Id = 0;
+      }
+      return *this;
+    }
+    Registration(const Registration &) = delete;
+    Registration &operator=(const Registration &) = delete;
+    ~Registration() { reset(); }
+
+    void reset() {
+      if (Id)
+        global().removeProvider(Id);
+      Id = 0;
+    }
+
+  private:
+    int Id = 0;
+  };
+
+private:
+  struct Entry {
+    int Id;
+    std::string Prefix;
+    Provider Fn;
+  };
+
+  mutable std::mutex Mutex;
+  std::vector<Entry> Providers;
+  int NextId = 1;
+};
+
+} // namespace slin
+
+#endif // SLIN_SUPPORT_STATSREGISTRY_H

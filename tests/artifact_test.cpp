@@ -14,6 +14,7 @@
 
 #include "apps/Benchmarks.h"
 #include "compiler/ArtifactStore.h"
+#include "support/RuntimeConfig.h"
 #include "compiler/AnalysisManager.h"
 #include "compiler/Pipeline.h"
 #include "compiler/Program.h"
@@ -511,9 +512,11 @@ TEST(DiskTier, SlinNoCacheBypassesTheDiskTier) {
   ProgramCache::global().clear();
   ProgramCache::global().resetStats();
   ::setenv("SLIN_NO_CACHE", "1", 1);
+  RuntimeConfig::refreshFromEnv();
   bool Hit = true;
   CompiledProgramRef P = ProgramCache::global().get(*Root, Opts, &Hit);
   ::unsetenv("SLIN_NO_CACHE");
+  RuntimeConfig::refreshFromEnv();
 
   // Neither served from disk nor stored to disk.
   EXPECT_FALSE(Hit);

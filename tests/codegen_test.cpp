@@ -23,6 +23,7 @@
 #include "exec/CompiledExecutor.h"
 #include "exec/Measure.h"
 #include "support/OpCounters.h"
+#include "support/RuntimeConfig.h"
 #include "wir/CxxEmit.h"
 #include "TestGraphs.h"
 
@@ -46,6 +47,8 @@ namespace {
 //===----------------------------------------------------------------------===//
 
 /// Scoped environment override; restores the previous value (or absence).
+/// Refreshes the RuntimeConfig snapshot both ways so the override is
+/// visible to every config-reading call site in between.
 class EnvGuard {
 public:
   EnvGuard(const char *Name, const char *Value) : Name(Name) {
@@ -57,12 +60,14 @@ public:
       ::setenv(Name, Value, 1);
     else
       ::unsetenv(Name);
+    RuntimeConfig::refreshFromEnv();
   }
   ~EnvGuard() {
     if (Had)
       ::setenv(Name.c_str(), Saved.c_str(), 1);
     else
       ::unsetenv(Name.c_str());
+    RuntimeConfig::refreshFromEnv();
   }
 
 private:

@@ -832,4 +832,80 @@ TEST(NativeCodegenFaults, DiskTierDlopenFailureEvictsAndRebuilds) {
   EXPECT_EQ(runWithModule(P, M, 96), Clean);
 }
 
+//===----------------------------------------------------------------------===//
+// Executor pool under concurrent requests with fault arms active
+//===----------------------------------------------------------------------===//
+
+TEST(PoolFaults, OneHungRequestTimesOutOthersServeIdentically) {
+  FaultGuard G;
+  StreamPtr Root = firSourcePipeline({1.25, -0.5, 2.0, 0.75});
+  CompiledProgramRef P = makeProgram(*Root);
+  std::vector<double> Clean = runProgram(P, 128);
+
+  // One-shot hang: exactly one of the concurrent requests draws it,
+  // parks until its deadline and comes back as a Timeout *result* —
+  // the pool worker survives and keeps serving.
+  faults::arm(faults::Point::ExecHang, 1);
+  ExecutorPool Pool(P, 4);
+  std::vector<std::future<ExecutorPool::Result>> Futures;
+  for (int I = 0; I != 8; ++I) {
+    ExecutorPool::Request R;
+    R.NOutputs = 128;
+    R.DeadlineMillis = 200;
+    Futures.push_back(Pool.submit(std::move(R)));
+  }
+  int Timeouts = 0, Ok = 0;
+  for (auto &F : Futures) {
+    ExecutorPool::Result R = F.get();
+    if (R.St.isOk()) {
+      ++Ok;
+      ASSERT_GE(R.Outputs.size(), Clean.size());
+      std::vector<double> Out = R.Outputs;
+      Out.resize(Clean.size());
+      EXPECT_EQ(Out, Clean);
+    } else {
+      EXPECT_EQ(R.St.code(), ErrorCode::Timeout) << R.St.str();
+      ++Timeouts;
+    }
+  }
+  EXPECT_EQ(Timeouts, 1);
+  EXPECT_EQ(Ok, 7);
+  ExecutorPool::Stats S = Pool.stats();
+  EXPECT_EQ(S.Served, 7u);
+  EXPECT_EQ(S.Timeouts, 1u);
+  EXPECT_EQ(S.Failures, 0u);
+}
+
+TEST(PoolFaults, PersistentShardCorruptionServesSequentiallyBitIdentical) {
+  FaultGuard G;
+  StreamPtr Root = firSourcePipeline({2.0, -1.5, 0.25});
+  CompiledProgramRef P = makeProgram(*Root);
+  ASSERT_TRUE(P->shardInfo().Shardable) << P->shardInfo().Reason;
+  std::vector<double> Clean = runProgram(P, 256);
+
+  // Every shard-seed attempt is corrupted for the whole burst: each
+  // parallel-engine request must absorb the anomaly and fall back to an
+  // equivalent sequential run — all Ok, outputs bit-identical.
+  faults::arm(faults::Point::ShardSeedCorrupt, 1, /*Persistent=*/true);
+  ExecutorPool Pool(P, 4);
+  std::vector<std::future<ExecutorPool::Result>> Futures;
+  for (int I = 0; I != 6; ++I) {
+    ExecutorPool::Request R;
+    R.NOutputs = 256;
+    R.Eng = Engine::Parallel;
+    Futures.push_back(Pool.submit(std::move(R)));
+  }
+  for (auto &F : Futures) {
+    ExecutorPool::Result R = F.get();
+    ASSERT_TRUE(R.St.isOk()) << R.St.str();
+    ASSERT_GE(R.Outputs.size(), Clean.size());
+    std::vector<double> Out = R.Outputs;
+    Out.resize(Clean.size());
+    EXPECT_EQ(Out, Clean);
+  }
+  EXPECT_GE(faults::hitCount(faults::Point::ShardSeedCorrupt), 1u);
+  EXPECT_EQ(Pool.stats().Served, 6u);
+  EXPECT_EQ(Pool.stats().Failures, 0u);
+}
+
 } // namespace

@@ -7,7 +7,7 @@ any entry's headline wall-clock metric regressed by more than the
 threshold. Entries are matched by (label, engine); the headline metric is
 the first wall-clock field an entry carries, in this preference order:
 
-    ns_per_output, ms, warm_ms, cold_ms, seconds
+    ns_per_output, p99_ms, p50_ms, ms, warm_ms, cold_ms, seconds
 
 FLOP/multiplication counts are deterministic and checked by the test
 suite, so only wall-clock fields gate here. New benchmarks and new
@@ -29,7 +29,15 @@ import os
 import shutil
 import sys
 
-HEADLINE_PREFERENCE = ["ns_per_output", "ms", "warm_ms", "cold_ms", "seconds"]
+HEADLINE_PREFERENCE = [
+    "ns_per_output",
+    "p99_ms",
+    "p50_ms",
+    "ms",
+    "warm_ms",
+    "cold_ms",
+    "seconds",
+]
 
 
 def headline(entry):

@@ -21,6 +21,8 @@
 #include "apps/Benchmarks.h"
 #include "compiler/ArtifactStore.h"
 #include "compiler/Program.h"
+#include "support/RuntimeConfig.h"
+#include "support/StatsRegistry.h"
 #include "verify/Lint.h"
 
 #include <cstdio>
@@ -39,12 +41,13 @@ struct Options {
   bool AllGraphs = false;
   std::string StoreDir;
   bool Json = false;
+  bool Stats = false;
 };
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--graph NAME]... [--all-graphs] [--store DIR] "
-               "[--json]\n"
+               "[--json] [--stats]\n"
                "With no selection, lints $SLIN_ARTIFACT_DIR when set, else "
                "all benchmark graphs.\n",
                Argv0);
@@ -83,12 +86,14 @@ int main(int Argc, char **Argv) {
       Opt.StoreDir = Argv[++I];
     else if (A == "--json")
       Opt.Json = true;
+    else if (A == "--stats")
+      Opt.Stats = true;
     else
       return usage(Argv[0]);
   }
   if (Opt.Graphs.empty() && !Opt.AllGraphs && Opt.StoreDir.empty()) {
-    const char *Env = std::getenv("SLIN_ARTIFACT_DIR");
-    if (Env && *Env)
+    std::string Env = RuntimeConfig::current().ArtifactDir;
+    if (!Env.empty())
       Opt.StoreDir = Env;
     else
       Opt.AllGraphs = true;
@@ -172,6 +177,13 @@ int main(int Argc, char **Argv) {
     }
     std::printf("slin-lint: %zu program(s), %zu error(s), %zu note(s)\n",
                 Results.size(), Errors, Notes);
+  }
+
+  if (Opt.Stats) {
+    // The unified counter snapshot (support/StatsRegistry.h) for this
+    // run: cache/store behaviour of exactly the programs linted above.
+    std::printf("%s\n", StatsRegistry::json(StatsRegistry::global().snapshot())
+                             .c_str());
   }
 
   if (LoadFailed)
